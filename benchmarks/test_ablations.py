@@ -1,0 +1,92 @@
+"""Benchmark A1 — ablations over the DESIGN.md design choices.
+
+* RNG-module scaling versus network width per method (the Sec. II-D
+  scalability wall).
+* Defect-rate robustness per method (key takeaway #8).
+* STE clip-window ablation.
+* Scalar- vs vector-mask predictive performance.
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.ablations import (
+    defect_robustness,
+    rng_scaling,
+    scalar_vs_vector_masks,
+    ste_clip_ablation,
+)
+
+
+def test_rng_scaling(benchmark):
+    widths = (64, 128, 256, 512, 1024)
+    scaling = benchmark.pedantic(lambda: rng_scaling(widths=widths),
+                                 rounds=1, iterations=1)
+    rows = [[m] + [str(v) for v in counts]
+            for m, counts in sorted(scaling.items())]
+    print()
+    print(render_table(["method"] + [f"w={w}" for w in widths], rows,
+                       title="A1 — RNG modules vs hidden width"))
+
+    for i in range(len(widths)):
+        assert (scaling["mc_dropconnect"][i] > scaling["spindrop"][i]
+                >= scaling["spatial"][i] > scaling["scaledrop"][i])
+    # Constant-per-layer methods are flat in width.
+    assert len(set(scaling["scaledrop"])) == 1
+    assert len(set(scaling["affine"])) == 1
+    # Per-weight methods scale superlinearly vs per-neuron.
+    growth_dc = scaling["mc_dropconnect"][-1] / scaling["mc_dropconnect"][0]
+    growth_sd = scaling["spindrop"][-1] / scaling["spindrop"][0]
+    assert growth_dc > growth_sd
+
+
+def test_defect_robustness(benchmark):
+    points = benchmark.pedantic(
+        lambda: defect_robustness(fast=True, seed=0,
+                                  fault_rates=(0.0, 0.05, 0.15)),
+        rounds=1, iterations=1)
+
+    by_method = {}
+    for p in points:
+        by_method.setdefault(p.method, []).append((p.fault_rate, p.accuracy))
+    rows = [[m] + [f"{acc * 100:.1f}%" for _, acc in sorted(series)]
+            for m, series in sorted(by_method.items())]
+    print()
+    print(render_table(["method", "0%", "5%", "15%"], rows,
+                       title="A1 — deployed accuracy vs stuck-at rate"))
+
+    for method, series in by_method.items():
+        series = dict(series)
+        # Clean deployment works.
+        assert series[0.0] > 0.45, method
+        # Heavy faults cannot *gain* accuracy beyond noise.
+        assert series[0.15] <= series[0.0] + 0.1, method
+
+
+def test_ste_clip(benchmark):
+    results = benchmark.pedantic(
+        lambda: ste_clip_ablation(clips=(0.05, 0.25, 1.0), seed=0, epochs=5),
+        rounds=1, iterations=1)
+    rows = [[f"{clip}", f"{acc * 100:.1f}%"]
+            for clip, acc in sorted(results.items())]
+    print()
+    print(render_table(["STE clip", "accuracy"], rows,
+                       title="A1 — STE clip-window ablation"))
+    # All clip settings train to something useful; the canonical 1.0
+    # window is not the worst choice.
+    assert all(acc > 0.3 for acc in results.values())
+    assert results[1.0] >= min(results.values())
+
+
+def test_scalar_vs_vector_masks(benchmark):
+    result = benchmark.pedantic(
+        lambda: scalar_vs_vector_masks(fast=True, seed=0),
+        rounds=1, iterations=1)
+    print(f"\nscalar-mask (ScaleDrop): "
+          f"{result['scalar_mask_accuracy'] * 100:.2f}%  "
+          f"vector-mask (SpinDrop): "
+          f"{result['vector_mask_accuracy'] * 100:.2f}%")
+    # The design claim: collapsing the mask to a scalar (1 RNG/layer)
+    # keeps predictive performance in the same band.
+    assert (result["scalar_mask_accuracy"]
+            > result["vector_mask_accuracy"] - 0.15)

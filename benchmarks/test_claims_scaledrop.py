@@ -1,0 +1,48 @@
+"""Benchmark C3 — SpinScaleDrop claims (Sec. III-A.3).
+
+Paper: "only a single dropout module ... per layer", "up to 1%
+improvement in predictive performance", "more than 100× energy savings
+compared to existing methods", and the Gaussian-fitted stochastic
+dropout probability under device variation.
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.claims import run_c3_scaledrop
+
+
+def test_c3_scaledrop_claims(benchmark):
+    claims = benchmark.pedantic(lambda: run_c3_scaledrop(fast=True, seed=0),
+                                rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["accuracy (ScaleDrop)", "90.45%",
+             f"{claims.accuracy_scaledrop * 100:.2f}%"],
+            ["accuracy (SpinDrop ref)", "91.95%",
+             f"{claims.accuracy_spindrop * 100:.2f}%"],
+            ["RNG modules (ScaleDrop)", "1 per layer",
+             str(claims.rng_modules_scaledrop)],
+            ["RNG modules (SpinDrop)", "1 per neuron",
+             str(claims.rng_modules_spindrop)],
+            ["dropout-energy saving", ">100×",
+             f"{claims.dropout_energy_saving:.0f}×"],
+            ["device-fitted p (mu, sigma)", "Gaussian",
+             f"({claims.stochastic_p_mu:.3f}, "
+             f"{claims.stochastic_p_sigma:.3f})"],
+        ],
+        title="C3 — SpinScaleDrop claims"))
+
+    # One module per hidden layer (2 hidden layers in the MLP).
+    assert claims.rng_modules_scaledrop == 2
+    assert claims.rng_modules_spindrop > 50 * claims.rng_modules_scaledrop
+    # Paper: >100× dropout-subsystem energy saving.
+    assert claims.dropout_energy_saving > 100.0
+    # Comparable predictive performance (within a few points).
+    assert claims.accuracy_scaledrop > claims.accuracy_spindrop - 0.15
+    # Variability makes p itself stochastic with a real spread.
+    assert claims.stochastic_p_sigma > 0.0
+    assert abs(claims.stochastic_p_mu - 0.2) < 0.15

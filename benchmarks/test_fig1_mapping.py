@@ -1,0 +1,51 @@
+"""Benchmark F1 — Fig. 1 mapping strategies for conv layers.
+
+Regenerates the architectural comparison the figure illustrates:
+crossbar counts, utilization, ADC conversions per output and dropout-
+module placement for strategies ① and ②, plus a functional-
+equivalence check between the two mappings.
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.figures import (
+    mapping_equivalence_check,
+    run_fig1_mapping,
+)
+
+
+def test_fig1_mapping(benchmark):
+    reports = benchmark.pedantic(run_fig1_mapping, rounds=1, iterations=1)
+
+    rows = []
+    for r1, r2 in zip(reports["strategy1"], reports["strategy2"]):
+        rows.append([
+            f"{r1.crossbar_shape}", r1.n_crossbars,
+            f"{r1.utilization:.2f}", r1.adc_per_output, r1.dropout_modules,
+            f"{r2.crossbar_shape}", r2.n_crossbars,
+            f"{r2.utilization:.2f}", r2.adc_per_output,
+        ])
+    print()
+    print(render_table(
+        ["S1 xbar", "S1 #", "S1 util", "S1 adc/out", "drop mods",
+         "S2 xbar", "S2 #", "S2 util", "S2 adc/out"],
+        rows, title="Fig. 1 — conv mapping strategies ① vs ②"))
+
+    for r1, r2 in zip(reports["strategy1"], reports["strategy2"]):
+        # Strategy ② always fully utilizes its small crossbars but
+        # needs many of them and more conversions per output.
+        assert r2.utilization == pytest.approx(1.0)
+        assert r2.n_crossbars >= r1.n_crossbars
+        assert r2.adc_per_output >= r1.adc_per_output
+        # The dropout module count is mapping-independent (one per
+        # input feature map) — the generalizability claim of III-A.2.
+        assert r1.dropout_modules == r2.dropout_modules
+
+
+def test_fig1_functional_equivalence(benchmark):
+    residual = benchmark.pedantic(mapping_equivalence_check,
+                                  rounds=1, iterations=1)
+    print(f"\nmax |strategy1 - strategy2| = {residual:.3f} "
+          "(ADC-resolution bound)")
+    assert residual <= 2.0

@@ -1,0 +1,45 @@
+"""Benchmark F2 — Fig. 2 Scale-Dropout inference architecture.
+
+Regenerates the component inventory of the figure as an energy
+breakdown of one deployed Scale-Dropout inference: crossbar array,
+sense amplifiers, ADC, scale SRAM, the (single) dropout module and the
+digital periphery.
+"""
+
+import pytest
+
+from repro.energy import format_energy, render_table
+from repro.experiments.figures import run_fig2_breakdown
+
+
+def test_fig2_scaledrop_architecture(benchmark):
+    breakdown = benchmark.pedantic(
+        lambda: run_fig2_breakdown(fast=True, seed=0),
+        rounds=1, iterations=1)
+
+    inference = {k: v for k, v in breakdown.items()
+                 if k != "weight_programming"}
+    total = sum(inference.values())
+    rows = [[name, format_energy(value), f"{100 * value / total:5.1f} %"]
+            for name, value in sorted(inference.items(),
+                                      key=lambda kv: -kv[1])]
+    print()
+    print(render_table(["component", "E/image", "share"], rows,
+                       title="Fig. 2 — Scale-Dropout architecture, "
+                             "per-image energy by component"))
+
+    # Every Fig.-2 component must be exercised.
+    for component in ("crossbar_array", "sense_amplifiers", "adc",
+                      "scale_sram", "dropout_module",
+                      "digital_periphery"):
+        assert breakdown[component] > 0.0, component
+
+    # The defining property of Scale-Dropout: the dropout module is a
+    # small slice of the budget (one RNG per layer), unlike SpinDrop
+    # where it dominates.  At the benchmark's tiny network size the
+    # fixed per-layer cycle weighs relatively more than at paper
+    # scale, so the bound is loose here and tight in the analytic
+    # model (see test_energy.py::test_dropout_subsystem_ratio_large).
+    assert breakdown["dropout_module"] / total < 0.15
+    # ADC is the dominant shared-periphery cost in CIM macros.
+    assert breakdown["adc"] == max(inference.values())

@@ -1,0 +1,57 @@
+"""Benchmark F3 — Fig. 3 SpinBayes layer architecture.
+
+Regenerates the design-space exploration behind the figure: arbiter
+selection statistics and the accuracy / energy / quantization-error
+trade-off versus the number of posterior crossbars N and the
+multi-level-cell precision.
+"""
+
+import pytest
+
+from repro.energy import format_energy, render_table
+from repro.experiments.figures import arbiter_statistics, run_fig3_spinbayes
+
+
+def test_fig3_arbiter(benchmark):
+    stats = benchmark.pedantic(
+        lambda: arbiter_statistics(n_choices=8, n_draws=8192, seed=0),
+        rounds=1, iterations=1)
+    print(f"\narbiter: {int(stats['n_choices'])} choices, "
+          f"{int(stats['cycles_per_selection'])} cycles/selection, "
+          f"max deviation {stats['max_abs_deviation']:.3f}, "
+          f"entropy {stats['entropy_bits']:.3f} bits")
+    assert stats["max_abs_deviation"] < 0.05
+    assert stats["entropy_bits"] > 2.9
+
+
+def test_fig3_design_space(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig3_spinbayes(fast=True, seed=0,
+                                   component_grid=(2, 4, 8),
+                                   level_grid=(4, 16)),
+        rounds=1, iterations=1)
+
+    rows = [[p.n_components, p.n_levels, f"{p.accuracy * 100:.1f}%",
+             format_energy(p.energy_per_image),
+             f"{p.quantization_error:.4f}",
+             f"{p.arbiter_uniformity:.3f}"]
+            for p in points]
+    print()
+    print(render_table(
+        ["N crossbars", "levels", "accuracy", "E/image", "quant err",
+         "arbiter dev"],
+        rows, title="Fig. 3 — SpinBayes design space"))
+
+    # Quantization error shrinks with cell precision at every N.
+    by_n = {}
+    for p in points:
+        by_n.setdefault(p.n_components, {})[p.n_levels] = p
+    for n, variants in by_n.items():
+        assert variants[16].quantization_error \
+            < variants[4].quantization_error
+
+    # All design points stay usable (well above 10-class chance).
+    assert min(p.accuracy for p in points) > 0.3
+
+    # Arbiter selection stays near uniform across the sweep.
+    assert max(p.arbiter_uniformity for p in points) < 0.15

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+These time the hot paths (crossbar MVM, RNG bit generation, one MC
+inference pass) so performance regressions in the simulator are
+caught; they also double as smoke tests of the public API under
+benchmark pressure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim import CimConfig, OpLedger, XnorCrossbar
+from repro.devices import SpintronicArbiter, SpintronicRNG
+from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
+
+
+def _binary(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    w = np.sign(rng.standard_normal(shape))
+    w[w == 0] = 1.0
+    return w
+
+
+def test_crossbar_mvm_throughput(benchmark):
+    bar = XnorCrossbar(128, 128)
+    bar.program(_binary((128, 128)))
+    x = _binary((64, 128), seed=1)
+    out = benchmark(bar.matvec, x)
+    assert out.shape == (64, 128)
+
+
+def test_rng_bitstream_throughput(benchmark):
+    bank = SpintronicRNG(256, p=0.5, rng=np.random.default_rng(0))
+    bits = benchmark(bank.generate, 4096)
+    assert bits.shape == (4096,)
+
+
+def test_arbiter_selection_throughput(benchmark):
+    arbiter = SpintronicArbiter(8, rng=np.random.default_rng(0))
+    picks = benchmark(arbiter.select_many, 256)
+    assert picks.shape == (256,)
+
+
+@pytest.fixture(scope="module")
+def deployed_model():
+    from repro.bayesian import BayesianCim, make_spindrop_mlp
+
+    data = digits_dataset(n_samples=600, seed=51)
+    model = make_spindrop_mlp(data.n_features, (64,), data.n_classes,
+                              p=0.15, seed=51)
+    train_classifier(model, data, TrainConfig(epochs=3, mc_samples=4))
+    return BayesianCim(model, CimConfig(seed=0)), data
+
+
+def test_mc_inference_pass(benchmark, deployed_model):
+    deployed, data = deployed_model
+    x = data.x_test[:32]
+    logits = benchmark(deployed.forward, x)
+    assert logits.shape == (32, 10)
+
+
+def test_training_epoch(benchmark):
+    from repro import nn
+    from repro.bayesian import make_spindrop_mlp
+    from repro.data import batches
+    from repro.tensor import Tensor
+
+    data = digits_dataset(n_samples=600, seed=61)
+    model = make_spindrop_mlp(data.n_features, (64,), data.n_classes,
+                              p=0.15, seed=61)
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+
+    def one_epoch():
+        model.train()
+        for xb, yb in batches(data.x_train, data.y_train, 64, seed=0):
+            loss = nn.cross_entropy(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            nn.clip_latent_weights(model)
+        return float(loss.data)
+
+    final_loss = benchmark.pedantic(one_epoch, rounds=1, iterations=1)
+    assert np.isfinite(final_loss)

@@ -1,0 +1,54 @@
+"""Benchmark — reliability and uncertainty-quality extensions.
+
+* Retention aging (key takeaway #4: in-field device modelling);
+* Calibration comparison across methods (the uncertainty-quality
+  dimension of the paper's claims).
+"""
+
+import pytest
+
+from repro.energy import render_table
+from repro.experiments.ablations import calibration_comparison, retention_aging
+
+
+def test_retention_aging(benchmark):
+    results = benchmark.pedantic(
+        lambda: retention_aging(fast=True, seed=0,
+                                ages_years=(0.0, 1.0, 5.0, 10.0)),
+        rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["age (years)", "flipped cells", "accuracy"],
+        [[f"{r['age_years']:.0f}",
+          f"{r['flipped_fraction'] * 100:.2f}%",
+          f"{r['accuracy'] * 100:.1f}%"] for r in results],
+        title="Retention aging (Néel–Brown, Δ = N(50, 5²))"))
+
+    flips = [r["flipped_fraction"] for r in results]
+    accs = [r["accuracy"] for r in results]
+    # Flips accumulate monotonically with age.
+    assert all(a <= b + 1e-12 for a, b in zip(flips, flips[1:]))
+    # Accuracy does not improve with age (beyond MC noise).
+    assert accs[-1] <= accs[0] + 0.05
+    # At 10 years only the low-Δ tail has flipped (a few percent).
+    assert flips[-1] < 0.15
+
+
+def test_calibration_comparison(benchmark):
+    results = benchmark.pedantic(
+        lambda: calibration_comparison(fast=True, seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["method", "accuracy", "ECE", "NLL"],
+        [[name, f"{m['accuracy'] * 100:.1f}%", f"{m['ece']:.3f}",
+          f"{m['nll']:.3f}"] for name, m in results.items()],
+        title="Calibration quality (lower ECE/NLL is better)"))
+
+    det = results["deterministic"]
+    # The uncertainty-quality claim: Bayesian inference improves the
+    # proper scores relative to the point-estimate baseline.
+    assert min(results["spindrop"]["ece"],
+               results["subset_vi"]["ece"]) < det["ece"]
+    assert min(results["spindrop"]["nll"],
+               results["subset_vi"]["nll"]) < det["nll"]

@@ -1,0 +1,48 @@
+"""Benchmark T1 — regenerate Table I (method comparison).
+
+Prints the same rows the paper's Table I reports (method, inference
+accuracy, energy per image) side by side with the paper's numbers,
+and asserts the reproduction's shape targets:
+
+* all trained methods land in a common accuracy band;
+* energy ordering: SpinDrop ≫ Spatial > Subset-VI ≈ SpinBayes ≈
+  ScaleDrop, with SpinDrop in the µJ band.
+"""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1(fast=True, seed=0)
+
+
+def test_table1(benchmark, table1_rows):
+    rows = benchmark.pedantic(lambda: table1_rows, rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+
+    by_name = {row.method: row for row in rows}
+    assert set(by_name) == set(PAPER_TABLE1)
+
+    # Energy ordering (analytic, paper-scale spec).
+    e = {name: row.energy_paper_scale for name, row in by_name.items()}
+    assert e["SpinDrop"] > e["Spatial-SpinDrop"]
+    assert e["Spatial-SpinDrop"] > e["SpinScaleDropout"]
+    assert e["SpinDrop"] > 3 * e["SpinScaleDropout"]
+    assert 0.5e-6 < e["SpinDrop"] < 5e-6       # paper: 2.00 µJ
+
+    # Accuracy: every trained method must clear a floor and the MLP
+    # methods should sit within a few points of each other.
+    mlp_methods = ("SpinDrop", "SpinScaleDropout",
+                   "Bayesian Sub-Set Parameter")
+    accs = [by_name[m].accuracy_software for m in mlp_methods]
+    assert min(accs) > 0.55
+    assert max(accs) - min(accs) < 0.25
+
+    # Deployed accuracy tracks software accuracy.
+    for method in mlp_methods:
+        row = by_name[method]
+        assert abs(row.accuracy_deployed - row.accuracy_software) < 0.2

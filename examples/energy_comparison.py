@@ -1,0 +1,80 @@
+"""Energy comparison of every NeuSpin method (the Table-I view).
+
+Uses the analytic op-count energy model on a LeNet-style reference
+network — the same engine the T1 benchmark uses — and shows:
+
+* per-image inference energy per method (paper Table I);
+* the dropout/RNG-subsystem share that explains the ordering;
+* how RNG-module count scales with network width per method.
+
+Run:  python examples/energy_comparison.py
+"""
+
+from repro.energy import (
+    dropout_subsystem_energy,
+    format_energy,
+    lenet_like,
+    method_energy_per_image,
+    method_rng_bits,
+    mlp_spec,
+    render_table,
+    storage_bits,
+)
+
+PAPER = {
+    "spindrop": ("SpinDrop", "2.00 µJ"),
+    "spatial": ("Spatial-SpinDrop", "0.68 µJ"),
+    "scaledrop": ("SpinScaleDropout", "0.18 µJ"),
+    "subset_vi": ("Bayesian Sub-Set Parameter", "0.30 µJ"),
+    "spinbayes": ("SpinBayes", "0.26 µJ"),
+    "mc_dropconnect": ("MC-DropConnect (baseline)", "—"),
+    "deterministic": ("Deterministic (no uncertainty)", "—"),
+}
+
+
+def main() -> None:
+    spec = lenet_like()
+    print(f"reference network: {spec.name}, "
+          f"{spec.total_weights:,} weights, "
+          f"{spec.total_neurons:,} neurons, 25 MC passes\n")
+
+    rows = []
+    for method, (label, paper_energy) in PAPER.items():
+        total, _ = method_energy_per_image(spec, method)
+        rng_share = dropout_subsystem_energy(spec, method) / total
+        rows.append([
+            label, paper_energy, format_energy(total),
+            f"{method_rng_bits(spec, method):,}",
+            f"{rng_share * 100:5.1f} %",
+        ])
+    print(render_table(
+        ["method", "paper E/img", "model E/img", "RNG bits/pass",
+         "RNG share"],
+        rows, title="Per-image inference energy (analytic, Table-I view)"))
+
+    # Storage comparison (the 158.7× memory claim of Sec. III-B.1).
+    print()
+    storage_rows = []
+    for method in ("deterministic", "subset_vi", "conventional_vi",
+                   "spinbayes", "ensemble"):
+        bits = storage_bits(spec, method)
+        storage_rows.append([method, f"{bits / 8 / 1024:.1f} KiB"])
+    print(render_table(["method", "parameter storage"], storage_rows,
+                       title="Deployed storage"))
+
+    # RNG scaling with width (why per-neuron dropout does not scale).
+    print()
+    widths = (128, 256, 512, 1024)
+    scale_rows = []
+    for method in ("mc_dropconnect", "spindrop", "scaledrop", "affine"):
+        counts = [method_rng_bits(mlp_spec(256, (w, w // 2), 10), method)
+                  for w in widths]
+        scale_rows.append([method] + [f"{c:,}" for c in counts])
+    print(render_table(["method"] + [f"width {w}" for w in widths],
+                       scale_rows,
+                       title="RNG modules vs hidden width (Sec. II-D "
+                             "scalability wall)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""OOD detection for an edge healthcare scenario.
+
+The paper's motivation: IoT / smart-wearable devices for personalized
+healthcare must know when an input is outside what the model was
+trained on (Sec. I, Sec. II-B).  Here a compact Bayesian classifier —
+trained to recognize ten "gesture glyph" patterns — faces three kinds
+of anomalous inputs at inference time:
+
+* sensor failure producing uniform noise;
+* a mounting shift producing heavily rotated patterns;
+* an unknown gesture family it was never trained on.
+
+The predictive entropy of the Monte-Carlo posterior flags all three,
+while a deterministic network stays confidently wrong.
+
+Run:  python examples/ood_detection_wearable.py
+"""
+
+import numpy as np
+
+from repro.bayesian import (
+    deterministic_predict,
+    make_binary_mlp,
+    make_spindrop_mlp,
+    mc_predict,
+)
+from repro.data import ood, synth_digits, train_test_split, batches
+from repro.experiments.common import TrainConfig, train_classifier
+from repro.experiments.common import Dataset
+from repro.uncertainty import detect, predictive_entropy
+
+
+def main() -> None:
+    x, y = synth_digits(4000, jitter=0.4, seed=0)
+    (xtr, ytr), (xte, yte) = train_test_split(x, y, 0.2, seed=1)
+    data = Dataset(xtr, ytr, xte, yte, n_classes=10, image_size=16)
+
+    config = TrainConfig(epochs=20, lr=1e-2, mc_samples=25, seed=0)
+    bayes = train_classifier(
+        make_spindrop_mlp(256, (256, 128), 10, p=0.2, seed=2),
+        data, config)
+    det = train_classifier(
+        make_binary_mlp(256, (256, 128), 10, seed=2), data, config)
+
+    id_result = mc_predict(bayes, xte, n_samples=config.mc_samples)
+    print(f"in-distribution accuracy: "
+          f"{(id_result.predictions == yte).mean() * 100:.2f}%")
+
+    sources = {
+        "sensor noise (uniform)": ood.uniform_noise(800, 256, seed=3),
+        "mounting shift (rotated)": ood.random_rotation(xte[:800], seed=4),
+        "unknown gestures (letters)": ood.letters(800, seed=5),
+    }
+
+    print(f"\n{'anomaly source':28s} {'detected@95%TPR':>16s} "
+          f"{'AUROC':>7s} {'det. conf.':>11s}")
+    for name, x_ood in sources.items():
+        ood_result = mc_predict(bayes, x_ood, n_samples=config.mc_samples)
+        report = detect(id_result.predictive_entropy,
+                        ood_result.predictive_entropy)
+        # What the deterministic net believes about the same inputs:
+        det_conf = deterministic_predict(det, x_ood).max(axis=1).mean()
+        print(f"{name:28s} {report.detection_rate * 100:15.1f}% "
+              f"{report.auroc:7.3f} {det_conf * 100:10.1f}%")
+
+    print("\nThe deterministic network stays highly confident on inputs "
+          "it has never seen;\nthe Bayesian posterior's entropy flags them "
+          "(the paper's 'up to 100% OOD detection' protocol).")
+
+
+if __name__ == "__main__":
+    main()

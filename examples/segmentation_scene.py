@@ -1,0 +1,87 @@
+"""Bayesian semantic segmentation with per-pixel uncertainty maps.
+
+The paper's SpinBayes evaluation covers "semantic segmentation tasks
+on two safety-critical tasks: medical image diagnosis and automotive
+scene understanding" (§III-B.2).  This example trains the binary
+Bayesian encoder–decoder on the synthetic scene dataset and renders
+ASCII uncertainty maps: the per-pixel predictive entropy lights up on
+object boundaries and — crucially — on *unknown* objects the model
+was never trained to segment.
+
+Run:  python examples/segmentation_scene.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian import (
+    make_bayesian_segmenter,
+    mc_segment,
+    pixel_maps,
+    segmentation_loss,
+)
+from repro.data import batches, segmentation_scenes
+from repro.tensor import Tensor
+from repro.uncertainty import mean_iou
+
+
+def ascii_map(values: np.ndarray, chars: str = " .:-=+*#%@") -> str:
+    """Render a 2-D array as an ASCII intensity map."""
+    lo, hi = values.min(), values.max()
+    norm = (values - lo) / max(hi - lo, 1e-9)
+    idx = (norm * (len(chars) - 1)).astype(int)
+    return "\n".join("".join(chars[j] for j in row) for row in idx)
+
+
+def main() -> None:
+    x_train, m_train = segmentation_scenes(1200, seed=0)
+    x_test, m_test = segmentation_scenes(200, seed=1)
+    x_ood, m_ood = segmentation_scenes(200, seed=2, ood_objects=True)
+
+    model = make_bayesian_segmenter(width=8, p=0.15, seed=3)
+    optimizer = nn.Adam(model.parameters(), lr=1e-2)
+    scheduler = nn.CosineLR(optimizer, 20)
+    print("training the Bayesian segmenter...")
+    for epoch in range(20):
+        model.train()
+        for xb, yb in batches(x_train, m_train, 32, seed=epoch):
+            loss = segmentation_loss(model(Tensor(xb)), yb)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            nn.clip_latent_weights(model)
+        scheduler.step()
+
+    shape = (len(x_test), 16, 16)
+    result = mc_segment(model, x_test, n_samples=20)
+    pred, entropy = pixel_maps(result, shape)
+    print(f"\nmIoU {mean_iou(pred, m_test, 3):.3f}   "
+          f"pixel accuracy {(pred == m_test).mean() * 100:.1f}%")
+
+    ood_result = mc_segment(model, x_ood, n_samples=20)
+    ood_pred, ood_entropy = pixel_maps(ood_result, (len(x_ood), 16, 16))
+
+    i = 0
+    print("\n--- known scene: input / prediction / uncertainty ---")
+    print(ascii_map(x_test[i, 0]))
+    print()
+    print(ascii_map(pred[i].astype(float)))
+    print()
+    print(ascii_map(entropy[i]))
+
+    j = int(np.argmax(ood_entropy.mean(axis=(1, 2))))
+    print("\n--- scene with an UNKNOWN object: input / uncertainty ---")
+    print(ascii_map(x_ood[j, 0]))
+    print()
+    print(ascii_map(ood_entropy[j]))
+
+    obj_h_id = entropy[m_test > 0].mean()
+    obj_h_ood = ood_entropy[m_ood > 0].mean()
+    print(f"\nmean object-pixel entropy: known {obj_h_id:.3f}  "
+          f"unknown {obj_h_ood:.3f}")
+    print("high-entropy pixels mark where the safety-critical system "
+          "should not trust the segmentation.")
+
+
+if __name__ == "__main__":
+    main()

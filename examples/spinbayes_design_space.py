@@ -1,0 +1,63 @@
+"""SpinBayes design-space exploration (Fig. 3 / Sec. III-B.2).
+
+Trains a subset-VI teacher once, then sweeps the two SpinBayes design
+knobs — the number of posterior crossbars N (arbiter fan-out) and the
+multi-level-cell precision — reporting accuracy, per-image energy,
+post-training-quantization error and arbiter statistics for every
+design point.  This is the "design-time exploration to optimize
+bit-precision" the paper describes.
+
+Run:  python examples/spinbayes_design_space.py
+"""
+
+import numpy as np
+
+from repro.bayesian import SpinBayesNetwork, make_subset_vi_mlp, mc_predict_fn
+from repro.cim import CimConfig
+from repro.data import synth_digits, train_test_split
+from repro.energy import format_energy, price_ledger, render_table
+from repro.experiments.common import Dataset, TrainConfig, train_classifier
+
+
+def main() -> None:
+    x, y = synth_digits(4000, jitter=0.5, seed=0)
+    (xtr, ytr), (xte, yte) = train_test_split(x, y, 0.2, seed=1)
+    data = Dataset(xtr, ytr, xte, yte, n_classes=10, image_size=16)
+
+    print("training the subset-VI teacher...")
+    teacher = train_classifier(
+        make_subset_vi_mlp(256, (256, 128), 10, seed=2),
+        data, TrainConfig(epochs=18, lr=1e-2, mc_samples=20, seed=0),
+        loss_kind="elbo")
+
+    x_eval, y_eval = xte[:400], yte[:400]
+    rows = []
+    for n_components in (2, 4, 8, 16):
+        for n_levels in (4, 8, 16, 32):
+            net = SpinBayesNetwork.from_subset_vi(
+                teacher, n_components=n_components, n_levels=n_levels,
+                config=CimConfig(seed=3 + n_components), seed=3)
+            net.ledger.reset()
+            result = mc_predict_fn(net.forward, x_eval, n_samples=20)
+            joules, _ = price_ledger(net.ledger)
+            acc = (result.predictions == y_eval).mean()
+            rows.append([
+                n_components, n_levels, f"{acc * 100:.1f}%",
+                format_energy(joules / len(x_eval)),
+                f"{net.quantization_error():.4f}",
+                net.n_crossbars,
+            ])
+    print()
+    print(render_table(
+        ["N crossbars/layer", "levels", "accuracy", "E/image",
+         "PTQ error", "total crossbars"],
+        rows, title="SpinBayes design space (Fig. 3 exploration)"))
+
+    print("\nReading the table: accuracy saturates after ~8 components "
+          "and ~16 levels;\nthe arbiter costs only ceil(log2 N) device "
+          "cycles per layer per pass, so the\nenergy column barely moves "
+          "— the area (crossbar count) is the real price of N.")
+
+
+if __name__ == "__main__":
+    main()

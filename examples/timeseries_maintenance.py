@@ -1,0 +1,69 @@
+"""Uncertainty-aware time-series forecasting (predictive maintenance).
+
+The paper names industrial predictive maintenance as a target workload
+(Sec. I) and reports up to 46.7 % RMSE reduction from inverted
+normalization + affine dropout on recurrent time-series models
+(Sec. III-A.4).  This example trains a GRU forecaster with affine
+dropout on a synthetic sensor signal and shows:
+
+* point forecasts from the MC-averaged posterior;
+* predictive intervals from the MC spread;
+* interval behaviour when the signal leaves the training regime.
+
+Run:  python examples/timeseries_maintenance.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian import make_affine_regressor, set_mc_mode
+from repro.data import forecast_dataset
+from repro.experiments.common import rmse, train_regressor
+from repro.tensor import Tensor, no_grad
+
+
+def mc_forecast(model, x: np.ndarray, n_samples: int = 30):
+    """Monte-Carlo mean and std of the forecast distribution."""
+    set_mc_mode(model, True)
+    model.eval()
+    with no_grad():
+        draws = np.stack([model(Tensor(x)).data for _ in range(n_samples)])
+    set_mc_mode(model, False)
+    return draws.mean(axis=0), draws.std(axis=0)
+
+
+def main() -> None:
+    (x_train, y_train), (x_test, y_test) = forecast_dataset(
+        n_points=2000, history=24, seed=0, noise=0.08)
+    print(f"forecasting task: {len(x_train)} train windows, "
+          f"{len(x_test)} test windows, history 24")
+
+    affine = make_affine_regressor(1, hidden_size=32, p=0.15, seed=1)
+    train_regressor(affine, x_train, y_train, epochs=25, seed=1)
+    baseline = nn.SequenceRegressor(1, hidden_size=32, cell="gru",
+                                    rng=np.random.default_rng(1))
+    train_regressor(baseline, x_train, y_train, epochs=25, seed=1)
+
+    mean, std = mc_forecast(affine, x_test, n_samples=30)
+    with no_grad():
+        base_pred = baseline(Tensor(x_test)).data
+
+    print(f"\nRMSE  affine-dropout (MC mean): {rmse(mean, y_test):.4f}")
+    print(f"RMSE  plain GRU baseline:       {rmse(base_pred, y_test):.4f}")
+
+    # Interval calibration: how often does the 2-sigma band cover truth?
+    covered = (np.abs(mean - y_test) <= 2 * std + 1e-9).mean()
+    print(f"2σ interval coverage on test:   {covered * 100:.1f}%")
+
+    # Out-of-regime inputs: amplify the signal beyond the training range.
+    x_shifted = np.clip(x_test * 2.5, -1.0, 1.0)
+    _, std_shifted = mc_forecast(affine, x_shifted, n_samples=30)
+    print(f"\nmean predictive σ  in-regime:   {std.mean():.4f}")
+    print(f"mean predictive σ  out-of-regime: {std_shifted.mean():.4f}")
+    ratio = std_shifted.mean() / max(std.mean(), 1e-9)
+    print(f"the posterior widens {ratio:.1f}× on out-of-regime inputs — "
+          "the maintenance system can defer to a human.")
+
+
+if __name__ == "__main__":
+    main()

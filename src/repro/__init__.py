@@ -1,0 +1,27 @@
+"""NeuSpin reproduction: spintronic Bayesian neuromorphic CIM system.
+
+Full behavioural reproduction of *NeuSpin: Design of a Reliable Edge
+Neuromorphic System Based on Spintronics for Green AI* (DATE 2024,
+arXiv:2401.06195): the six Bayesian-on-spintronics methods of the
+NeuSpin project plus every substrate they need — a numpy autograd
+training stack, MTJ device physics, crossbar CIM simulation, energy
+accounting, uncertainty metrics and synthetic datasets.
+
+Package map
+-----------
+``repro.tensor``      reverse-mode autograd over numpy
+``repro.nn``          layers / binary layers / losses / optimizers
+``repro.devices``     MTJ physics, variability, defects, RNG, arbiter
+``repro.cim``         crossbars, ADC, mapping strategies, deployment
+``repro.bayesian``    the six NeuSpin methods + baselines
+``repro.uncertainty`` entropy/MI metrics, calibration, OOD detection
+``repro.energy``      op pricing, analytic network specs, Table-I engine
+``repro.data``        synthetic datasets, corruptions, OOD sources
+``repro.experiments`` harnesses regenerating each table/figure/claim
+"""
+
+__version__ = "1.0.0"
+
+from repro import tensor  # noqa: F401  (import-order anchor)
+
+__all__ = ["tensor", "__version__"]

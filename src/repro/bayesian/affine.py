@@ -1,0 +1,139 @@
+"""Inverted normalization with Affine Dropout (Sec. III-A.4).
+
+The self-healing BayNN: the :class:`~repro.nn.InvertedNorm` layer
+applies its learned affine transform *before* normalization, and
+Affine Dropout adds stochasticity by randomly dropping the affine
+weight and bias with probability ``p`` — "sampling two binary dropout
+masks, one for weight and the other for bias ... Dropout masks are
+kept at a scalar value (vector-wise dropout) instead of a vector
+(element-wise dropout) to reduce the number of RNGs in the model."
+
+Dropped weight → replaced by one (identity), dropped bias → replaced
+by zero.  Two RNG bits per layer per pass; multiple forward passes
+with independently sampled masks give the Bayesian predictive
+distribution (treated as a Gaussian-process approximation following
+Gal & Ghahramani, ref [5]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesian.base import StochasticModule
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+from repro.nn.normalization import InvertedNorm
+from repro.tensor import Tensor
+
+
+class AffineDropout(StochasticModule):
+    """Inverted normalization with scalar Bernoulli masks on gamma/beta.
+
+    Wraps an :class:`InvertedNorm` and installs fresh scalar masks each
+    stochastic forward pass.  Exactly two dropout modules per layer
+    (weight mask + bias mask).
+    """
+
+    def __init__(self, num_features: int, spatial: bool = False,
+                 p: float = 0.2,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 ideal: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < p < 1.0:
+            raise ValueError("dropout probability must be in (0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+        self.norm = InvertedNorm(num_features, spatial=spatial)
+        if ideal:
+            self.module_bank = None
+        else:
+            self.module_bank = SpintronicRNG(
+                2, p=p, mtj_params=mtj_params, variability=variability,
+                rng=self.rng)
+
+    @property
+    def n_dropout_modules(self) -> int:
+        return 2
+
+    def sample_masks(self) -> tuple[float, float]:
+        """(gamma_mask, beta_mask): 1 keeps the parameter, 0 drops it."""
+        if self.module_bank is not None:
+            bits = self.module_bank.generate(2)
+            dropped_w, dropped_b = bool(bits[0]), bool(bits[1])
+        else:
+            dropped_w = bool(self.rng.random() < self.p)
+            dropped_b = bool(self.rng.random() < self.p)
+        return (0.0 if dropped_w else 1.0), (0.0 if dropped_b else 1.0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.stochastic_active:
+            gamma_mask, beta_mask = self.sample_masks()
+            self.norm.set_affine_masks(gamma_mask, beta_mask)
+        else:
+            self.norm.set_affine_masks(None, None)
+        try:
+            return self.norm(x)
+        finally:
+            self.norm.set_affine_masks(None, None)
+
+
+def make_affine_mlp(in_features: int, hidden: tuple, n_classes: int,
+                    p: float = 0.2, seed: Optional[int] = None):
+    """Binary MLP using inverted normalization + affine dropout.
+
+    Per block: BinaryLinear → AffineDropout(InvertedNorm) → sign.
+    This is the self-healing architecture evaluated under CIM faults
+    in experiment C4.
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(nn.BinaryLinear(prev, width, rng=rng,
+                                      binarize_input=(i == 0)))
+        layers.append(AffineDropout(width, p=p, rng=rng))
+        layers.append(nn.SignActivation())
+        prev = width
+    layers.append(nn.BinaryLinear(prev, n_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def make_affine_regressor(input_size: int, hidden_size: int = 32,
+                          p: float = 0.2, cell: str = "gru",
+                          seed: Optional[int] = None):
+    """Sequence regressor with affine dropout on the encoder output.
+
+    The time-series configuration of experiment C4 (the paper's
+    LSTM-based RMSE claim, substituted with a GRU per DESIGN.md).
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+
+    class _AffineRegressor(nn.Module):
+        def __init__(self) -> None:
+            super().__init__()
+            if cell == "gru":
+                self.cell = nn.GRUCell(input_size, hidden_size, rng=rng)
+            else:
+                self.cell = nn.RNNCell(input_size, hidden_size, rng=rng)
+            self.hidden_size = hidden_size
+            self.affine = AffineDropout(hidden_size, p=p, rng=rng)
+            self.head = nn.Linear(hidden_size, 1, rng=rng)
+
+        def forward(self, x: Tensor) -> Tensor:
+            n, t, _ = x.shape
+            h = Tensor(np.zeros((n, self.hidden_size)))
+            for step in range(t):
+                h = self.cell(x[:, step, :], h)
+            h = self.affine(h)
+            return self.head(h)
+
+    return _AffineRegressor()

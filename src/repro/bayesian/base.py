@@ -1,0 +1,138 @@
+"""Shared Bayesian-inference machinery.
+
+All six NeuSpin methods produce predictions the same way: ``T``
+stochastic forward passes (each drawing fresh dropout masks / scale
+samples / crossbar selections) whose softmax outputs are averaged into
+the predictive distribution; the spread across passes carries the
+epistemic uncertainty (Sec. II-C).  This module implements that Monte
+Carlo loop for training-side models and leaves the deployed (CIM) loop
+to :mod:`repro.bayesian.deploy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+from repro.tensor.functional import _softmax_np
+
+
+@dataclasses.dataclass
+class PredictiveResult:
+    """Output of Monte-Carlo Bayesian inference.
+
+    ``probs``: (N, C) predictive mean probabilities.
+    ``samples``: (T, N, C) per-pass probabilities (uncertainty source).
+    """
+
+    probs: np.ndarray
+    samples: np.ndarray
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return self.probs.argmax(axis=-1)
+
+    @property
+    def predictive_entropy(self) -> np.ndarray:
+        p = np.clip(self.probs, 1e-12, 1.0)
+        return -(p * np.log(p)).sum(axis=-1)
+
+    @property
+    def expected_entropy(self) -> np.ndarray:
+        p = np.clip(self.samples, 1e-12, 1.0)
+        return -(p * np.log(p)).sum(axis=-1).mean(axis=0)
+
+    @property
+    def mutual_information(self) -> np.ndarray:
+        """BALD epistemic-uncertainty score (total − aleatoric)."""
+        return np.maximum(self.predictive_entropy - self.expected_entropy, 0.0)
+
+    @property
+    def predictive_std(self) -> np.ndarray:
+        """Mean per-class std-dev across passes (alternative score)."""
+        return self.samples.std(axis=0).mean(axis=-1)
+
+
+class StochasticModule(nn.Module):
+    """Marker base for layers that stay stochastic during inference.
+
+    ``mc_mode`` switches the layer into Monte-Carlo inference: it keeps
+    sampling even when the surrounding model is in ``eval()`` mode
+    (the defining trick of MC-Dropout, ref [5] of the paper).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mc_mode = False
+
+    def enable_mc(self, enabled: bool = True) -> None:
+        self.mc_mode = enabled
+
+    @property
+    def stochastic_active(self) -> bool:
+        return self.training or self.mc_mode
+
+
+def set_mc_mode(model: nn.Module, enabled: bool = True) -> None:
+    """Enable/disable MC sampling on every stochastic layer of a model."""
+    for module in model.modules():
+        if isinstance(module, StochasticModule):
+            module.enable_mc(enabled)
+
+
+def mc_predict(model: nn.Module, x: np.ndarray, n_samples: int = 20,
+               batch_size: Optional[int] = None) -> PredictiveResult:
+    """Monte-Carlo predictive distribution of a training-side model.
+
+    Runs ``n_samples`` forward passes in eval mode with stochastic
+    layers forced on, collecting softmax probabilities.
+    """
+    model.eval()
+    set_mc_mode(model, True)
+    try:
+        samples = []
+        with no_grad():
+            for _ in range(n_samples):
+                samples.append(_forward_probs(model, x, batch_size))
+        stacked = np.stack(samples)
+        return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)
+    finally:
+        set_mc_mode(model, False)
+
+
+def deterministic_predict(model: nn.Module, x: np.ndarray,
+                          batch_size: Optional[int] = None) -> np.ndarray:
+    """Single deterministic forward pass (stochastic layers off)."""
+    model.eval()
+    set_mc_mode(model, False)
+    with no_grad():
+        return _forward_probs(model, x, batch_size)
+
+
+def _forward_probs(model: nn.Module, x: np.ndarray,
+                   batch_size: Optional[int]) -> np.ndarray:
+    if batch_size is None or len(x) <= batch_size:
+        return _softmax_np(model(Tensor(x)).data, axis=-1)
+    chunks = [
+        _softmax_np(model(Tensor(x[i:i + batch_size])).data, axis=-1)
+        for i in range(0, len(x), batch_size)
+    ]
+    return np.concatenate(chunks, axis=0)
+
+
+def mc_predict_fn(forward: Callable[[np.ndarray], np.ndarray],
+                  x: np.ndarray, n_samples: int = 20) -> PredictiveResult:
+    """MC prediction over an arbitrary stochastic forward function.
+
+    Used by the deployed (CIM) path where ``forward`` returns raw
+    logits from numpy-level inference.
+    """
+    samples = []
+    for _ in range(n_samples):
+        samples.append(_softmax_np(forward(x), axis=-1))
+    stacked = np.stack(samples)
+    return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)

@@ -1,0 +1,211 @@
+"""Deployed Bayesian inference on the CIM fabric.
+
+:class:`BayesianCim` compiles a trained stochastic model into a
+:class:`~repro.cim.layers.CimNetwork` and re-creates its stochastic
+behaviour at the *hardware* level: dropout masks come from
+:class:`~repro.devices.rng.SpintronicRNG` banks and gate crossbar
+wordlines / enables; scale-dropout modulates the SRAM scale path;
+affine-dropout masks the frozen inverted-norm parameters; Bayesian
+scales are re-sampled per pass.
+
+This is the object the Table-I benchmark measures: ``mc_forward``
+runs T passes through the accounted analog chain, and the ledger
+afterwards holds every crossbar access, ADC conversion and RNG cycle
+the method consumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian.affine import AffineDropout
+from repro.bayesian.base import PredictiveResult, mc_predict_fn
+from repro.bayesian.scale_dropout import ScaleDropout
+from repro.bayesian.spatial import SpatialSpinDropout
+from repro.bayesian.spindrop import SpinDropout
+from repro.bayesian.subset_vi import BayesianScale
+from repro.cim.compile import _deploy_layer
+from repro.cim.layers import (
+    CimConfig,
+    CimConv2d,
+    CimLinear,
+    CimNetwork,
+    DigitalScale,
+    DropoutGate,
+    FrozenNorm,
+)
+from repro.cim.ledger import OpLedger
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+
+
+@dataclasses.dataclass
+class _MaskBinding:
+    """Links one trained stochastic layer to its deployed mechanism."""
+
+    kind: str                      # neuron | channel | scale | affine | vi
+    p: float
+    rng_bank: Optional[SpintronicRNG]
+    target: object                 # the CIM stage driven by the mask
+    source: object                 # the trained stochastic layer
+    software_rng: np.random.Generator
+
+
+class BayesianCim:
+    """A trained Bayesian model deployed to spintronic CIM hardware.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.nn.Sequential` containing stochastic
+        layers (SpinDropout / SpatialSpinDropout / ScaleDropout /
+        AffineDropout / BayesianScale).
+    config:
+        CIM deployment configuration (variability, defects, ADC bits,
+        array size, mapping strategy).
+    rng_variability:
+        Separate variability model for the *dropout modules* (their Δ
+        spread shifts realized dropout rates); defaults to the
+        config's variability.
+    """
+
+    def __init__(self, model: nn.Sequential,
+                 config: Optional[CimConfig] = None,
+                 rng_variability: Optional[DeviceVariability] = None,
+                 seed: Optional[int] = None):
+        self.config = config or CimConfig(seed=seed)
+        self.ledger = OpLedger()
+        self._rng = np.random.default_rng(seed)
+        rng_var = rng_variability or self.config.variability
+
+        stages: list = []
+        self.bindings: List[_MaskBinding] = []
+
+        for layer in model:
+            stage = _deploy_layer(layer, self.config, self.ledger)
+            if stage is None:
+                continue
+            stages.append(stage)
+            if isinstance(stage, DropoutGate) and isinstance(
+                    layer, (SpinDropout, SpatialSpinDropout)):
+                self._bind_mask(layer, stage, rng_var)
+            if isinstance(stage, DigitalScale) and isinstance(
+                    layer, (ScaleDropout, BayesianScale)):
+                self._bind_scale(layer, stage, rng_var)
+            if isinstance(stage, FrozenNorm) and isinstance(layer, AffineDropout):
+                self._bind_affine(layer, stage, rng_var)
+        self.network = CimNetwork(stages, self.ledger, self.config)
+
+    # ------------------------------------------------------------------
+    def _bind_mask(self, layer, gate: DropoutGate, rng_var) -> None:
+        if isinstance(layer, SpinDropout):
+            kind, n_modules = "neuron", layer.n_features
+        else:
+            kind, n_modules = "channel", layer.n_channels
+        bank = SpintronicRNG(n_modules, p=layer.p,
+                             mtj_params=self.config.mtj_params,
+                             variability=rng_var, rng=self._rng)
+        self.bindings.append(_MaskBinding(
+            kind=kind, p=layer.p, rng_bank=bank, target=gate,
+            source=layer, software_rng=self._rng))
+
+    def _bind_scale(self, layer, stage, rng_var) -> None:
+        if isinstance(layer, ScaleDropout):
+            bank = SpintronicRNG(1, p=layer.p,
+                                 mtj_params=self.config.mtj_params,
+                                 variability=rng_var, rng=self._rng)
+            self.bindings.append(_MaskBinding(
+                kind="scale", p=layer.p, rng_bank=bank, target=stage,
+                source=layer, software_rng=self._rng))
+        else:  # BayesianScale: posterior sampling per pass
+            self.bindings.append(_MaskBinding(
+                kind="vi", p=0.0, rng_bank=None, target=stage,
+                source=layer, software_rng=self._rng))
+
+    def _bind_affine(self, layer, stage, rng_var) -> None:
+        bank = SpintronicRNG(2, p=layer.p,
+                             mtj_params=self.config.mtj_params,
+                             variability=rng_var, rng=self._rng)
+        self.bindings.append(_MaskBinding(
+            kind="affine", p=layer.p, rng_bank=bank, target=stage,
+            source=layer, software_rng=self._rng))
+
+    # ------------------------------------------------------------------
+    def _resample(self, batch: int) -> None:
+        """Draw fresh hardware randomness for one forward pass."""
+        for binding in self.bindings:
+            if binding.kind in ("neuron", "channel"):
+                bits = binding.rng_bank.generate(binding.rng_bank.n_modules)
+                binding.target.mask = (bits < 0.5).astype(np.float64)
+            elif binding.kind == "scale":
+                bit = binding.rng_bank.generate(1)[0]
+                layer: ScaleDropout = binding.source
+                binding.target.multiplier = (
+                    layer.drop_scale if bit > 0.5 else 1.0)
+            elif binding.kind == "affine":
+                bits = binding.rng_bank.generate(2)
+                binding.target.gamma_multiplier = 0.0 if bits[0] > 0.5 else 1.0
+                binding.target.beta_multiplier = 0.0 if bits[1] > 0.5 else 1.0
+            elif binding.kind == "vi":
+                layer: BayesianScale = binding.source
+                sample = layer.posterior_sample_np()
+                binding.target.multiplier = sample / np.where(
+                    layer.mu.data == 0, 1.0, layer.mu.data)
+
+    def _clear(self) -> None:
+        for binding in self.bindings:
+            if binding.kind in ("neuron", "channel"):
+                binding.target.mask = None
+            elif binding.kind in ("scale", "vi"):
+                binding.target.multiplier = 1.0
+            elif binding.kind == "affine":
+                binding.target.gamma_multiplier = 1.0
+                binding.target.beta_multiplier = 1.0
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, stochastic: bool = True) -> np.ndarray:
+        """One pass through the analog chain; raw logits."""
+        batch = x.shape[0]
+        if stochastic:
+            self._resample(batch)
+            # Book the RNG cycles each image's mask generation costs.
+            # In hardware every image draws fresh bits; the behavioural
+            # model shares one mask per pass but accounts per image.
+            for binding in self.bindings:
+                if binding.kind in ("neuron", "channel"):
+                    bits = binding.rng_bank.n_modules
+                elif binding.kind == "scale":
+                    bits = 1
+                elif binding.kind == "affine":
+                    bits = 2
+                else:  # vi: one stochastic-SOT draw per scale element
+                    bits = binding.source.n_features
+                self.ledger.add("rng_cycle", bits * batch)
+        else:
+            self._clear()
+        return self.network.forward(x)
+
+    __call__ = forward
+
+    def mc_forward(self, x: np.ndarray, n_samples: int = 20
+                   ) -> PredictiveResult:
+        """Monte-Carlo Bayesian inference on hardware: T passes."""
+        return mc_predict_fn(lambda inp: self.forward(inp, stochastic=True),
+                             x, n_samples=n_samples)
+
+    def deterministic_forward(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, stochastic=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_dropout_modules(self) -> int:
+        """Physical RNG module count of the deployment."""
+        total = 0
+        for binding in self.bindings:
+            if binding.rng_bank is not None:
+                total += binding.rng_bank.n_modules
+        return total

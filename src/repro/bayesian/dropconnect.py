@@ -1,0 +1,117 @@
+"""MC-DropConnect baseline (per-weight dropout).
+
+The paper repeatedly uses MC-DropConnect [17] as the scalability
+antagonist: "another approach (MC-DropConnect) applies [dropout] to
+each weight. Since the number of neurons and weights in an NN can be
+millions, the number of Dropout modules in the hardware can be huge
+and the overall sampling latency can be long" (Sec. II-D).
+
+This module implements that baseline so the RNG-count / latency /
+energy comparisons in the ablations run against real code, not just
+analytic counts.  The hardware realization re-uses a per-neuron module
+bank serially across the weight matrix rows (the paper's latency
+argument), which :mod:`repro.energy.latency` prices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesian.base import StochasticModule
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, functional as F
+
+
+class DropConnectLinear(StochasticModule):
+    """Binary linear layer with per-weight Bernoulli masks.
+
+    Each stochastic forward pass samples a fresh mask over the *weight
+    matrix* (not the activations); dropped weights contribute nothing
+    to the MAC.  Training uses the straight-through estimator exactly
+    like :class:`~repro.nn.BinaryLinear`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, p: float = 0.1,
+                 bias: bool = True, binarize_input: bool = False,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 ideal: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < p < 1.0:
+            raise ValueError("dropout probability must be in (0, 1)")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.p = p
+        self.binarize_input = binarize_input
+        self.rng = rng or np.random.default_rng()
+        bound = math.sqrt(6.0 / in_features)
+        self.weight = Parameter(self.rng.uniform(
+            -bound, bound, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        if ideal:
+            self.module_bank = None
+        else:
+            # Hardware: one physical module per output neuron, re-used
+            # across the in_features rows (serial mask generation).
+            self.module_bank = SpintronicRNG(
+                out_features, p=p, mtj_params=mtj_params,
+                variability=variability, rng=self.rng)
+
+    @property
+    def n_dropout_modules(self) -> int:
+        """Physical modules (per-neuron bank, serially re-used)."""
+        return self.out_features
+
+    @property
+    def mask_bits_per_pass(self) -> int:
+        """Bernoulli bits one forward pass consumes (= #weights)."""
+        return self.in_features * self.out_features
+
+    def sample_weight_mask(self) -> np.ndarray:
+        """(out, in) keep-mask over the weight matrix."""
+        if self.module_bank is None:
+            drops = self.rng.random(
+                (self.out_features, self.in_features)) < self.p
+        else:
+            bits = self.module_bank.generate(self.mask_bits_per_pass)
+            drops = bits.reshape(self.out_features, self.in_features) > 0.5
+        return (~drops).astype(np.float64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.binarize_input:
+            x = F.sign_ste(x)
+        weight = F.sign_ste(self.weight)
+        if self.stochastic_active:
+            weight = weight * Tensor(self.sample_weight_mask())
+        out = F.matmul(x, F.transpose(weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+def make_dropconnect_mlp(in_features: int, hidden: tuple, n_classes: int,
+                         p: float = 0.1, ideal_rng: bool = True,
+                         variability: Optional[DeviceVariability] = None,
+                         seed: Optional[int] = None):
+    """Binary MLP with MC-DropConnect on every hidden layer."""
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(DropConnectLinear(
+            prev, width, p=p, binarize_input=(i == 0), ideal=ideal_rng,
+            variability=variability, rng=rng))
+        layers.append(nn.BatchNorm1d(width))
+        layers.append(nn.SignActivation())
+        prev = width
+    layers.append(nn.BinaryLinear(prev, n_classes, rng=rng))
+    return nn.Sequential(*layers)

@@ -1,0 +1,57 @@
+"""Deep-ensemble baseline.
+
+The paper compares VI/ensemble memory costs ("the memory consumption
+of certain VI and ensemble implementations can be 2−10× higher",
+Sec. III) — this small ensemble provides that comparison point for the
+C5 memory benchmark and an accuracy/uncertainty baseline elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian.base import PredictiveResult
+from repro.tensor import Tensor, no_grad
+from repro.tensor.functional import _softmax_np
+
+
+class DeepEnsemble:
+    """An ensemble of independently trained models.
+
+    ``members`` may be passed pre-trained, or built from a factory and
+    trained by the caller.  Prediction averages member softmaxes; the
+    member spread is the uncertainty source (one "posterior sample"
+    per member).
+    """
+
+    def __init__(self, members: Sequence[nn.Module]):
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members: List[nn.Module] = list(members)
+
+    @classmethod
+    def from_factory(cls, factory: Callable[[int], nn.Module],
+                     n_members: int = 5) -> "DeepEnsemble":
+        return cls([factory(i) for i in range(n_members)])
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def predict(self, x: np.ndarray) -> PredictiveResult:
+        samples = []
+        with no_grad():
+            for member in self.members:
+                member.eval()
+                samples.append(_softmax_np(member(Tensor(x)).data, axis=-1))
+        stacked = np.stack(samples)
+        return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)
+
+    def num_parameters(self) -> int:
+        return sum(m.num_parameters() for m in self.members)
+
+    def memory_footprint_bits(self, bits_per_parameter: int = 32) -> int:
+        """Ensembles store every member's full parameter set."""
+        return self.num_parameters() * bits_per_parameter

@@ -1,0 +1,181 @@
+"""SpinScaleDrop: scale dropout with one RNG per layer (Sec. III-A.3).
+
+The scale-dropout idea: instead of zeroing information (neurons /
+feature maps), apply a *scalar* Bernoulli mask to the layer's
+learnable scale vector — "a scalar dropout mask is applied to the
+scale vector by scale modulation rather than information zeroing for
+each layer. Thus, only a single dropout module is per layer."
+
+When the scalar mask drops (m=0), the scale vector is replaced by its
+dropout-mode value (down-modulated by ``drop_scale``); when it keeps
+(m=1) the learned scale applies unchanged.  Randomness in the scale
+vector perturbs the whole layer activation, reducing co-adaptation
+between scale and binary weights, and multiple forward passes yield
+Monte-Carlo uncertainty exactly like conventional MC-Dropout.
+
+Device awareness: manufacturing variation makes the physical module's
+dropout probability itself stochastic; the layer models it as a
+Gaussian-distributed p (fitted via
+:func:`repro.devices.variability.effective_dropout_probabilities`),
+re-sampled every forward pass — "the dropout probability is defined as
+a stochastic variable, and the dropout probability is fitted to a
+Gaussian distribution."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesian.base import StochasticModule
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def adaptive_dropout_probability(n_parameters: int,
+                                 p_min: float = 0.05,
+                                 p_max: float = 0.25,
+                                 pivot: int = 50_000) -> float:
+    """Layer-size-adaptive dropout probability.
+
+    The paper proposes selecting p per layer from its parameter count
+    (bigger layers tolerate more dropout), removing the design-space
+    search: small layers get ``p_min``, layers around ``pivot``
+    parameters interpolate logarithmically toward ``p_max``.
+    """
+    if n_parameters <= 0:
+        raise ValueError("parameter count must be positive")
+    t = np.clip(np.log10(n_parameters) / np.log10(pivot), 0.0, 1.0)
+    return float(p_min + (p_max - p_min) * t)
+
+
+class ScaleDropout(StochasticModule):
+    """Learnable scale vector with a scalar stochastic mask.
+
+    Parameters
+    ----------
+    n_features:
+        Scale vector length (output features / channels of the layer
+    spatial:
+        ``True`` if the input is NCHW (scale applies per channel).
+    p:
+        Programmed dropout probability; ``None`` selects it adaptively
+        from ``n_parameters``.
+    drop_scale:
+        Multiplier applied to the scale vector in the dropped state.
+    stochastic_p_sigma:
+        Std-dev of the Gaussian dropout-rate model (device-variability
+        aware mode).  0 = ideal module.
+    """
+
+    def __init__(self, n_features: int, spatial: bool = False,
+                 p: Optional[float] = None,
+                 n_parameters: Optional[int] = None,
+                 drop_scale: float = 0.5,
+                 stochastic_p_sigma: float = 0.0,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 ideal: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if p is None:
+            p = adaptive_dropout_probability(n_parameters or n_features)
+        if not 0.0 < p < 1.0:
+            raise ValueError("dropout probability must be in (0, 1)")
+        self.n_features = n_features
+        self.spatial = spatial
+        self.p = p
+        self.drop_scale = drop_scale
+        self.stochastic_p_sigma = stochastic_p_sigma
+        self.rng = rng or np.random.default_rng()
+        # The scale vector is a learnable parameter trained by gradient
+        # descent, regularized toward one (losses.scale_regularizer).
+        self.scale = Parameter(np.ones(n_features))
+        if ideal:
+            self.module_bank = None
+        else:
+            self.module_bank = SpintronicRNG(
+                1, p=p, mtj_params=mtj_params, variability=variability,
+                rng=self.rng)
+            mu, sigma = self.module_bank.fitted_probability()
+            self.p = float(mu)
+            self.stochastic_p_sigma = float(max(sigma, stochastic_p_sigma))
+
+    @property
+    def n_dropout_modules(self) -> int:
+        return 1  # the whole point of the method
+
+    def _current_p(self) -> float:
+        """Per-pass dropout probability (Gaussian device model)."""
+        if self.stochastic_p_sigma <= 0.0:
+            return self.p
+        return float(np.clip(
+            self.rng.normal(self.p, self.stochastic_p_sigma), 0.01, 0.99))
+
+    def sample_mask(self) -> float:
+        """One scalar Bernoulli keep-decision for the entire layer."""
+        p = self._current_p()
+        if self.module_bank is not None:
+            dropped = bool(self.module_bank.generate(1)[0])
+        else:
+            dropped = bool(self.rng.random() < p)
+        return 0.0 if dropped else 1.0
+
+    def effective_scale(self, keep: float) -> Tensor:
+        """Scale vector under the sampled mask.
+
+        Dropped state modulates the scale by ``drop_scale`` rather than
+        zeroing — scale *modulation*, not information zeroing.
+        """
+        if keep >= 1.0:
+            return self.scale
+        return self.scale * self.drop_scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.stochastic_active:
+            scale = self.effective_scale(self.sample_mask())
+        else:
+            scale = self.scale
+        if self.spatial:
+            if x.ndim != 4:
+                raise ValueError("spatial ScaleDropout expects (N, C, H, W)")
+            from repro.tensor import functional as F
+            return x * F.reshape(scale, (1, -1, 1, 1))
+        return x * scale
+
+
+def make_scaledrop_mlp(in_features: int, hidden: tuple, n_classes: int,
+                       drop_scale: float = 0.5,
+                       stochastic_p_sigma: float = 0.0,
+                       seed: Optional[int] = None):
+    """Binary MLP with one ScaleDropout (single RNG) per hidden layer.
+
+    Per block: BinaryLinear (scale disabled — the ScaleDropout layer
+    owns the scale) → ScaleDropout → BatchNorm → sign.
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(nn.BinaryLinear(prev, width, scale=False, rng=rng,
+                                      binarize_input=(i == 0)))
+        layers.append(ScaleDropout(
+            width, n_parameters=prev * width, drop_scale=drop_scale,
+            stochastic_p_sigma=stochastic_p_sigma, rng=rng))
+        layers.append(nn.BatchNorm1d(width))
+        layers.append(nn.SignActivation())
+        prev = width
+    layers.append(nn.BinaryLinear(prev, n_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def scale_parameters(model) -> list:
+    """Collect the scale vectors of all ScaleDropout layers (for the
+    regularizer term of the training objective)."""
+    return [m.scale for m in model.modules() if isinstance(m, ScaleDropout)]

@@ -1,0 +1,113 @@
+"""Spatial-SpinDrop: feature-map dropout for CNNs (Sec. III-A.2).
+
+Extends SpinDrop by dropping entire feature maps instead of single
+neurons: "Spatial dropout drops entire feature maps, making it more
+suitable for CNNs where spatial correlations are vital."  The hardware
+pay-off is a 9× reduction in dropout modules (one per feature map
+instead of one per neuron) and compatibility with both crossbar
+mapping strategies of Fig. 1 — the module gates either a K·K wordline
+group (strategy ①) or a whole sub-crossbar row (strategy ②).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesian.base import StochasticModule
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+from repro.tensor import Tensor
+
+
+class SpatialSpinDropout(StochasticModule):
+    """Channel-wise (feature-map) dropout backed by an MTJ module bank.
+
+    One physical dropout module per channel — the factor-of-(H·W)
+    module saving over neuron-wise SpinDrop on conv feature maps.
+    """
+
+    def __init__(self, n_channels: int, p: float = 0.2,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 ideal: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < p < 1.0:
+            raise ValueError("dropout probability must be in (0, 1)")
+        self.n_channels = n_channels
+        self.p = p
+        self.ideal = ideal
+        self.rng = rng or np.random.default_rng()
+        if ideal:
+            self.modules_bank = None
+        else:
+            self.modules_bank = SpintronicRNG(
+                n_channels, p=p, mtj_params=mtj_params,
+                variability=variability, rng=self.rng)
+
+    @property
+    def n_dropout_modules(self) -> int:
+        return self.n_channels
+
+    def sample_channel_mask(self, batch: int) -> np.ndarray:
+        """(batch, C) binary keep-mask, shared across spatial positions.
+
+        Pure zeroing (no inverted-dropout rescale), matching the
+        hardware where a dropped feature map's wordline group simply
+        never fires — see :meth:`SpinDropout.sample_mask`.
+        """
+        if self.modules_bank is None:
+            drops = self.rng.random((batch, self.n_channels)) < self.p
+        else:
+            bits = self.modules_bank.generate(batch * self.n_channels)
+            drops = bits.reshape(batch, self.n_channels) > 0.5
+        return (~drops).astype(np.float64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.stochastic_active:
+            return x
+        if x.ndim != 4:
+            raise ValueError("SpatialSpinDropout expects (N, C, H, W)")
+        mask = self.sample_channel_mask(x.shape[0])
+        return x * Tensor(mask[:, :, None, None])
+
+
+def make_spatial_spindrop_cnn(in_channels: int, image_size: int,
+                              n_classes: int, p: float = 0.2,
+                              widths: tuple = (8, 16),
+                              ideal_rng: bool = True,
+                              variability: Optional[DeviceVariability] = None,
+                              seed: Optional[int] = None):
+    """Binary CNN with MC-SpatialDropout before each conv block.
+
+    Per block: SpatialSpinDropout → BinaryConv2d(3×3, pad 1) →
+    BatchNorm2d → sign → MaxPool(2).  Head: flatten → BinaryLinear.
+    Dropout precedes the conv so the module gates the conv layer's
+    *input* feature maps — matching Fig. 1, where the dropout module
+    sits on the wordline decoder of the crossbar holding the kernels.
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    channels = in_channels
+    size = image_size
+    for i, width in enumerate(widths):
+        if i > 0:
+            # No dropout on the raw input image, only between blocks.
+            layers.append(SpatialSpinDropout(
+                channels, p=p, ideal=ideal_rng, variability=variability,
+                rng=rng))
+        layers.append(nn.BinaryConv2d(channels, width, 3, padding=1, rng=rng,
+                                      binarize_input=(i == 0)))
+        layers.append(nn.BatchNorm2d(width))
+        layers.append(nn.SignActivation())
+        layers.append(nn.MaxPool2d(2))
+        channels = width
+        size //= 2
+    layers.append(nn.Flatten())
+    layers.append(nn.BinaryLinear(channels * size * size, n_classes, rng=rng))
+    return nn.Sequential(*layers)

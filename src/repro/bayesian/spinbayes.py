@@ -1,0 +1,228 @@
+"""SpinBayes: Bayesian in-memory approximation (Sec. III-B.2, Fig. 3).
+
+The idea: convert a trained posterior into a *memory-friendly*
+distribution — a finite set of ``N`` quantized parameter realizations
+mapped onto ``N`` crossbars per layer — so that sampling at inference
+time reduces to a spintronic arbiter picking one crossbar per forward
+pass ("the spintronic stochastic Arbiter is implemented at the
+periphery of crossbars, selecting specific crossbars for Bayesian
+inference in each forward pass. The Arbiter generates a random binary
+one-hot vector to determine the selection").
+
+Pipeline implemented here:
+
+1. Take a trained VI teacher (:mod:`repro.bayesian.subset_vi` model).
+2. Draw ``n_components`` posterior samples; fold each sampled scale
+   into the binary weights to get per-component effective weight
+   matrices (the Bayesian in-memory approximation).
+3. CIM-aware post-training quantization: quantize each component to
+   the multi-level-cell grid (``n_levels`` conductance states built
+   from parallel MTJs — the "design-time exploration to optimize
+   bit-precision" sweeps this knob, benchmark F3).
+4. Program each component into its own
+   :class:`~repro.cim.crossbar.AnalogCrossbar`; attach one
+   :class:`~repro.devices.arbiter.SpintronicArbiter` per layer.
+
+Inference: every forward pass asks each layer's arbiter for a one-hot
+selection, runs the MVM on the chosen crossbar, and proceeds through
+shared digital periphery (frozen norm, sign).  T passes → Monte-Carlo
+predictive distribution, with randomness costing only
+``ceil(log2 N)`` device cycles per layer per pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian.subset_vi import BayesianScale
+from repro.cim.crossbar import AnalogCrossbar
+from repro.cim.layers import CimConfig, DigitalSign, FrozenNorm
+from repro.cim.ledger import OpLedger
+from repro.devices.arbiter import SpintronicArbiter
+
+
+class _SpinBayesMvmLayer:
+    """One Fig.-3 layer: N analog crossbars + a stochastic arbiter."""
+
+    def __init__(self, components: List[np.ndarray], bias: Optional[np.ndarray],
+                 n_levels: int, config: CimConfig, ledger: OpLedger,
+                 binarize_input: bool = False):
+        if not components:
+            raise ValueError("need at least one component")
+        self.n_components = len(components)
+        self.bias = bias
+        self.ledger = ledger
+        self.intended = [c.copy() for c in components]
+        self.binarize_input = binarize_input
+        v_min = float(min(c.min() for c in components))
+        v_max = float(max(c.max() for c in components))
+        self.crossbars: List[AnalogCrossbar] = []
+        for weights in components:
+            in_features = weights.shape[1]
+            out_features = weights.shape[0]
+            bar = AnalogCrossbar(
+                in_features, out_features, n_levels=n_levels,
+                mtj_params=config.mtj_params,
+                variability=config.variability,
+                defects=config.defects,
+                rng=config.rng, ledger=ledger)
+            bar.program(weights.T, v_min=v_min, v_max=v_max)
+            self.crossbars.append(bar)
+        if self.n_components > 1:
+            self.arbiter = SpintronicArbiter(
+                self.n_components, mtj_params=config.mtj_params,
+                variability=config.variability, rng=config.rng)
+        else:
+            self.arbiter = None
+        self.last_selected = 0
+
+    def forward(self, x: np.ndarray, component: Optional[int] = None
+                ) -> np.ndarray:
+        if component is None:
+            if self.arbiter is not None:
+                component = self.arbiter.select()
+                self.ledger.add("rng_cycle", self.arbiter.cycles_per_selection)
+            else:
+                component = 0
+        self.last_selected = component
+        if self.binarize_input:
+            x = np.sign(x)
+        out = self.crossbars[component].matvec(x)
+        self.ledger.add("adc_conversion", out.size)
+        if self.bias is not None:
+            out = out + self.bias
+            self.ledger.add("digital_op", out.size)
+        return out
+
+
+class SpinBayesNetwork:
+    """Deployed SpinBayes model (MLP topologies).
+
+    Built via :meth:`from_subset_vi`; inference-only, numpy-level,
+    fully op-accounted.
+    """
+
+    def __init__(self, stages: list, ledger: OpLedger, config: CimConfig,
+                 n_components: int, n_levels: int):
+        self.stages = stages
+        self.ledger = ledger
+        self.config = config
+        self.n_components = n_components
+        self.n_levels = n_levels
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_subset_vi(cls, teacher: nn.Sequential, n_components: int = 8,
+                       n_levels: int = 16,
+                       config: Optional[CimConfig] = None,
+                       seed: Optional[int] = None) -> "SpinBayesNetwork":
+        """Approximate a subset-VI posterior with N quantized crossbars.
+
+        Walks the teacher Sequential; for every BinaryLinear [+
+        following BayesianScale] pair it draws ``n_components``
+        posterior scale samples, folds each into the binary weights,
+        and programs one crossbar per sample.  Norm/sign stages are
+        shared (they are deterministic in the teacher).
+        """
+        config = config or CimConfig(seed=seed)
+        ledger = OpLedger()
+        rng = np.random.default_rng(seed)
+        stages: list = []
+        layers = list(teacher)
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if isinstance(layer, nn.BinaryLinear):
+                binary = np.where(layer.weight.data >= 0, 1.0, -1.0)
+                scale_layer = None
+                if i + 1 < len(layers) and isinstance(layers[i + 1], BayesianScale):
+                    scale_layer = layers[i + 1]
+                components = []
+                for _ in range(n_components):
+                    if scale_layer is not None:
+                        s = scale_layer.posterior_sample_np()
+                    elif layer.scale is not None:
+                        s = layer.scale.data
+                    else:
+                        s = np.ones(binary.shape[0])
+                    components.append(binary * s[:, None])
+                bias = None if layer.bias is None else layer.bias.data.copy()
+                stages.append(_SpinBayesMvmLayer(
+                    components, bias, n_levels, config, ledger,
+                    binarize_input=layer.binarize_input))
+                i += 2 if scale_layer is not None else 1
+                continue
+            if isinstance(layer, (nn.BatchNorm1d, nn.BatchNorm2d)):
+                gamma = layer.gamma.data if layer.affine else None
+                beta = layer.beta.data if layer.affine else None
+                stages.append(FrozenNorm(
+                    layer.running_mean, layer.running_var, gamma, beta,
+                    layer.eps, spatial=isinstance(layer, nn.BatchNorm2d),
+                    inverted=False, ledger=ledger))
+                i += 1
+                continue
+            if isinstance(layer, (nn.SignActivation, nn.HardTanh, nn.Tanh)):
+                stages.append(DigitalSign(ledger))
+                i += 1
+                continue
+            if isinstance(layer, nn.Flatten):
+                stages.append("flatten")
+                i += 1
+                continue
+            if isinstance(layer, BayesianScale):
+                # Orphan scale (no preceding BinaryLinear) — fold as a
+                # digital multiply by the posterior mean.
+                stages.append(("static_scale", layer.mu.data.copy()))
+                i += 1
+                continue
+            raise TypeError(
+                f"SpinBayes deployment does not support {type(layer).__name__}")
+        return cls(stages, ledger, config, n_components, n_levels)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray,
+                components: Optional[List[int]] = None) -> np.ndarray:
+        """One stochastic pass; ``components`` pins per-layer selection."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        mvm_idx = 0
+        for stage in self.stages:
+            if isinstance(stage, _SpinBayesMvmLayer):
+                pick = None if components is None else components[mvm_idx]
+                x = stage.forward(x, component=pick)
+                mvm_idx += 1
+            elif stage == "flatten":
+                x = x.reshape(x.shape[0], -1)
+            elif isinstance(stage, tuple) and stage[0] == "static_scale":
+                x = x * stage[1]
+            else:
+                x = stage.forward(x)
+        return x
+
+    __call__ = forward
+
+    def mvm_layers(self) -> List[_SpinBayesMvmLayer]:
+        return [s for s in self.stages if isinstance(s, _SpinBayesMvmLayer)]
+
+    @property
+    def n_crossbars(self) -> int:
+        return sum(layer.n_components for layer in self.mvm_layers())
+
+    def quantization_error(self) -> float:
+        """Mean |stored − intended| over all components (PTQ fidelity).
+
+        Decodes each crossbar's programmed conductances back to the
+        value scale and compares against the pre-quantization effective
+        weights; shrinks as ``n_levels`` grows (the F3 bit-precision
+        exploration).
+        """
+        errors = []
+        for layer in self.mvm_layers():
+            for bar, intended in zip(layer.crossbars, layer.intended):
+                stored = bar.stored_values().T  # back to (out, in)
+                errors.append(np.abs(stored - intended).mean())
+        return float(np.mean(errors))

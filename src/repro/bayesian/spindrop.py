@@ -1,0 +1,152 @@
+"""SpinDrop: neuron-wise MC-Dropout with spintronic RNG (Sec. III-A.1).
+
+The first binary Bayesian NN (BinBayNN) of the NeuSpin project: every
+neuron of a layer owns a dedicated MTJ dropout module; each Bayesian
+forward pass generates the dropout mask physically via SET→read→RESET
+cycles; the deterministic binary weights live in the XNOR crossbar.
+
+Training uses the BinBayNN objective: cross-entropy of the sampled
+(binarized, dropped-out) network — the standard MC-Dropout variational
+interpretation (Gal & Ghahramani, ref [5]) applied to binary weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesian.base import StochasticModule
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+from repro.tensor import Tensor
+
+
+class SpinDropout(StochasticModule):
+    """Neuron-wise dropout whose bits come from an MTJ module bank.
+
+    Parameters
+    ----------
+    n_features:
+        Neuron count — also the number of physical dropout modules
+        (classic SpinDrop: "each neuron in the array was equipped with
+        a dedicated dropout module").
+    p:
+        Programmed dropout probability.
+    variability:
+        Device variability; shifts each module's realized probability.
+    ideal:
+        Use an ideal software RNG instead of the MTJ bank (training
+        convenience; deployment always uses the device model).
+    """
+
+    def __init__(self, n_features: int, p: float = 0.2,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 ideal: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 < p < 1.0:
+            raise ValueError("dropout probability must be in (0, 1)")
+        self.n_features = n_features
+        self.p = p
+        self.ideal = ideal
+        self.rng = rng or np.random.default_rng()
+        if ideal:
+            self.modules_bank = None
+        else:
+            self.modules_bank = SpintronicRNG(
+                n_features, p=p, mtj_params=mtj_params,
+                variability=variability, rng=self.rng)
+
+    @property
+    def n_dropout_modules(self) -> int:
+        return self.n_features
+
+    def sample_mask(self, batch: int) -> np.ndarray:
+        """Sample a (batch, n_features) binary keep-mask.
+
+        Pure zeroing, no 1/(1−p) compensation: a dropped neuron's
+        wordline simply never fires in hardware, and Bayesian inference
+        always samples (there is no "dropout off" rescaling moment).
+        Batch-norm statistics are learned under the same masking, so
+        train-time and deployed activations match bit-for-bit.
+        """
+        if self.modules_bank is None:
+            drops = self.rng.random((batch, self.n_features)) < self.p
+        else:
+            bits = self.modules_bank.generate(batch * self.n_features)
+            drops = bits.reshape(batch, self.n_features) > 0.5
+        return (~drops).astype(np.float64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.stochastic_active:
+            return x
+        mask = self.sample_mask(x.shape[0])
+        if x.ndim != 2:
+            raise ValueError("SpinDropout expects (N, F) activations; use "
+                             "SpatialSpinDropout for feature maps")
+        return x * Tensor(mask)
+
+
+def make_spindrop_mlp(in_features: int, hidden: tuple, n_classes: int,
+                      p: float = 0.2, ideal_rng: bool = True,
+                      variability: Optional[DeviceVariability] = None,
+                      seed: Optional[int] = None):
+    """Binary MLP with per-neuron SpinDrop after every hidden block.
+
+    Architecture per hidden block: BinaryLinear → BatchNorm → sign
+    (HardTanh at train time keeps gradients; deployment maps it to a
+    sense-amp sign) → SpinDropout.  The classifier head stays binary
+    with a real-valued scale.
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(nn.BinaryLinear(prev, width, rng=rng,
+                                      binarize_input=(i == 0)))
+        layers.append(nn.BatchNorm1d(width))
+        layers.append(nn.SignActivation())
+        layers.append(SpinDropout(width, p=p, ideal=ideal_rng,
+                                  variability=variability, rng=rng))
+        prev = width
+    layers.append(nn.BinaryLinear(prev, n_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def make_binary_mlp(in_features: int, hidden: tuple, n_classes: int,
+                    seed: Optional[int] = None):
+    """Deterministic binary MLP — the point-estimate baseline.
+
+    Identical topology to :func:`make_spindrop_mlp` minus the dropout
+    layers; the comparison point for the "~2 % accuracy improvement"
+    and corrupted-data claims (C1).
+    """
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(nn.BinaryLinear(prev, width, rng=rng,
+                                      binarize_input=(i == 0)))
+        layers.append(nn.BatchNorm1d(width))
+        layers.append(nn.SignActivation())
+        prev = width
+    layers.append(nn.BinaryLinear(prev, n_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def count_dropout_modules(model) -> int:
+    """Total physical dropout modules a model instantiates."""
+    total = 0
+    for module in model.modules():
+        if isinstance(module, SpinDropout):
+            total += module.n_dropout_modules
+        elif hasattr(module, "n_dropout_modules") and module is not model:
+            total += module.n_dropout_modules
+    return total

@@ -1,0 +1,69 @@
+"""Computing-in-memory (CIM) crossbar simulation.
+
+Crossbar arrays (XNOR binary + analog multi-level), ADC/sense-amp
+periphery, the two Fig.-1 convolution mapping strategies, deployed
+inference layers, and the ``compile_to_cim`` entry point that turns a
+trained model into an accounted CIM network.
+"""
+
+from repro.cim.ledger import OpLedger
+from repro.cim.crossbar import AnalogCrossbar, XnorCrossbar
+from repro.cim.adc import ADC, PopcountADC, SenseAmplifier
+from repro.cim.mapping import (
+    ConvShape,
+    MappingPlan,
+    MappingStrategy,
+    dropconnect_module_count,
+    plan_conv_mapping,
+    scale_module_count,
+    spatial_module_count,
+    spindrop_module_count,
+)
+from repro.cim.layers import (
+    CimConfig,
+    CimConv2d,
+    CimLayer,
+    CimLinear,
+    CimNetwork,
+    DigitalFlatten,
+    DigitalMaxPool,
+    DigitalReLU,
+    DigitalScale,
+    DigitalSign,
+    DropoutGate,
+    FrozenNorm,
+)
+from repro.cim.compile import compile_to_cim
+from repro.cim.optimize import FoldedAffine, fold_norm_into_scale
+
+__all__ = [
+    "OpLedger",
+    "XnorCrossbar",
+    "AnalogCrossbar",
+    "ADC",
+    "PopcountADC",
+    "SenseAmplifier",
+    "ConvShape",
+    "MappingPlan",
+    "MappingStrategy",
+    "plan_conv_mapping",
+    "spindrop_module_count",
+    "spatial_module_count",
+    "scale_module_count",
+    "dropconnect_module_count",
+    "CimConfig",
+    "CimLayer",
+    "CimLinear",
+    "CimConv2d",
+    "CimNetwork",
+    "FrozenNorm",
+    "DigitalSign",
+    "DigitalScale",
+    "DropoutGate",
+    "DigitalReLU",
+    "DigitalMaxPool",
+    "DigitalFlatten",
+    "compile_to_cim",
+    "FoldedAffine",
+    "fold_norm_into_scale",
+]

@@ -1,0 +1,263 @@
+"""Analog SOT-MRAM crossbar array model.
+
+The crossbar computes a matrix-vector product in one shot: input
+voltages drive the rows (wordlines), each cell's conductance
+multiplies its row voltage, and Kirchhoff current summation on every
+column (bitline) yields the dot products (Sec. II-A: SOT-MRAM's
+"tunable resistances ... hold significant promise, especially in
+Matrix-Vector Multiplication operations within crossbar arrays").
+
+Two cell organizations are modelled:
+
+* :class:`XnorCrossbar` — binary weights in complementary 1T-1MTJ
+  pairs ("each trained weight is stored in a unit represented by two
+  1T-1MTJ cells", Sec. III-A.1), inputs are ±1, the column current
+  encodes the XNOR-popcount MAC.
+* :class:`AnalogCrossbar` — multi-level cells storing quantized real
+  values (SpinBayes / Bayesian-scale crossbars), inputs are analog
+  row voltages.
+
+Both apply device-to-device conductance variability at programming
+time, optional stuck-at defects, cycle-to-cycle read noise, and a
+first-order IR-drop attenuation; both book their operations on an
+:class:`~repro.cim.ledger.OpLedger`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cim.ledger import OpLedger
+from repro.devices.defects import DefectModel
+from repro.devices.mtj import MTJParams
+from repro.devices.variability import DeviceVariability
+
+
+class XnorCrossbar:
+    """Binary-weight crossbar with complementary bit-cell pairs.
+
+    Each logical weight w ∈ {−1, +1} occupies two cells: the *direct*
+    cell (read when the input bit is +1) and the *complement* cell
+    (read when the input bit is −1).  A cell in the P state contributes
+    g_p to the column current, AP contributes g_ap; the XNOR truth
+    table falls out of programming direct=w, complement=−w.
+
+    The decoded MAC for column j is ``2·matches − n_active``, exactly
+    the popcount arithmetic of a digital XNOR BNN, but the *analog*
+    current is what the ADC sees — so variability, defects, IR drop
+    and read noise all land on the result before decoding.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 defects: Optional[DefectModel] = None,
+                 wire_resistance: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 ledger: Optional[OpLedger] = None):
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.params = mtj_params or MTJParams()
+        self.variability = variability
+        self.rng = rng or np.random.default_rng()
+        self.ledger = ledger if ledger is not None else OpLedger()
+        self.wire_resistance = wire_resistance
+        self._defects = defects
+        self._weights: Optional[np.ndarray] = None
+        self._g_direct: Optional[np.ndarray] = None
+        self._g_complement: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def program(self, weights: np.ndarray) -> None:
+        """Program a ±1 weight matrix (rows=inputs, cols=outputs)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"weight shape {weights.shape} != ({self.n_rows}, {self.n_cols})")
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("XnorCrossbar stores ±1 weights only")
+
+        stored = weights
+        if self._defects is not None:
+            stored = self._defects.apply_to_binary_weights(stored)
+        self._weights = stored
+
+        g_p, g_ap = self.params.g_p, self.params.g_ap
+        g_direct = np.where(stored > 0, g_p, g_ap)
+        g_complement = np.where(stored > 0, g_ap, g_p)
+        if self.variability is not None:
+            g_direct = self.variability.perturb_conductances(g_direct)
+            g_complement = self.variability.perturb_conductances(g_complement)
+        self._g_direct = g_direct
+        self._g_complement = g_complement
+        # Two MTJ writes per logical weight (direct + complement cell).
+        self.ledger.add("mtj_write", 2 * weights.size)
+
+    @property
+    def programmed_weights(self) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("crossbar not programmed")
+        return self._weights
+
+    # ------------------------------------------------------------------
+    def _ir_drop_factor(self, n_active: np.ndarray) -> np.ndarray:
+        """First-order IR-drop attenuation.
+
+        Column current is attenuated proportionally to the total
+        conductance load on the line; the linear model
+        ``1 / (1 + R_wire · n_active · g_p)`` captures the worst-case
+        trend without solving the full resistive mesh.
+        """
+        if self.wire_resistance <= 0.0:
+            return np.ones_like(n_active, dtype=np.float64)
+        load = self.wire_resistance * n_active * self.params.g_p
+        return 1.0 / (1.0 + load)
+
+    def matvec(self, inputs: np.ndarray,
+               row_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched XNOR MAC: inputs (N, n_rows) in {−1, 0, +1} → (N, n_cols).
+
+        A zero input means the wordline pair is *not asserted* — the
+        row contributes no current, which is exactly how neuron dropout
+        reaches the crossbar (a dropped neuron's activation is zero, so
+        its wordline never fires).  ``row_mask`` (n_rows,) of {0,1}
+        additionally gates rows layer-wide — the Fig.-1 mechanism where
+        the dropout module drives the WL decoder directly
+        (Spatial-SpinDrop feature-map gating).
+
+        Returns the *decoded integer MAC* (2·matches − n_active, per
+        sample), already corrected for the analog chain; amplitude
+        quantization is applied by the ADC stage, not here.
+        """
+        if self._g_direct is None:
+            raise RuntimeError("crossbar not programmed")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 1:
+            inputs = inputs[None, :]
+        if inputs.shape[1] != self.n_rows:
+            raise ValueError(f"input width {inputs.shape[1]} != {self.n_rows}")
+        if not np.all(np.isin(inputs, (-1.0, 0.0, 1.0))):
+            raise ValueError("XnorCrossbar inputs must be in {-1, 0, +1}")
+
+        if row_mask is None:
+            gate = np.ones(self.n_rows)
+        else:
+            gate = np.asarray(row_mask, dtype=np.float64)
+            if gate.shape != (self.n_rows,):
+                raise ValueError("row_mask must have shape (n_rows,)")
+            gate = (gate > 0).astype(np.float64)
+
+        v = self.params.read_voltage
+        pos = (inputs > 0).astype(np.float64) * gate     # rows driven "true"
+        neg = (inputs < 0).astype(np.float64) * gate     # rows driven "false"
+        n_active = (pos + neg).sum(axis=1, keepdims=True)  # per sample
+
+        g_direct = self._g_direct
+        g_complement = self._g_complement
+        if self.variability is not None:
+            g_direct = self.variability.read_noise(g_direct)
+            g_complement = self.variability.read_noise(g_complement)
+
+        current = v * (pos @ g_direct + neg @ g_complement)   # (N, n_cols)
+        current = current * self._ir_drop_factor(n_active)
+
+        # Decode matches from analog current using nominal conductances:
+        # I = V (m g_p + (n_active - m) g_ap)  =>  m.
+        g_p, g_ap = self.params.g_p, self.params.g_ap
+        matches = (current / v - n_active * g_ap) / (g_p - g_ap)
+        mac = 2.0 * matches - n_active
+
+        total_active = int(n_active.sum())
+        self.ledger.add("crossbar_cell_access", total_active * self.n_cols)
+        self.ledger.add("dac_drive", total_active)
+        return mac
+
+
+class AnalogCrossbar:
+    """Multi-level-cell crossbar for quantized analog weights.
+
+    Used by the SpinBayes posterior crossbars and the Bayesian-scale
+    crossbar of subset-parameter inference.  Weights are quantized to
+    ``n_levels`` conductance steps between g_ap (most negative value)
+    and g_p·n_parallel (most positive); inputs are analog row voltages.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int, n_levels: int = 16,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 defects: Optional[DefectModel] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 ledger: Optional[OpLedger] = None):
+        if n_levels < 2:
+            raise ValueError("need at least two conductance levels")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.n_levels = n_levels
+        self.params = mtj_params or MTJParams()
+        self.variability = variability
+        self.rng = rng or np.random.default_rng()
+        self.ledger = ledger if ledger is not None else OpLedger()
+        self._defects = defects
+        self._g: Optional[np.ndarray] = None
+        self._v_min = 0.0
+        self._v_max = 1.0
+
+    def program(self, values: np.ndarray,
+                v_min: Optional[float] = None,
+                v_max: Optional[float] = None) -> None:
+        """Quantize real ``values`` onto the conductance grid and store."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"value shape {values.shape} != ({self.n_rows}, {self.n_cols})")
+        self._v_min = float(values.min()) if v_min is None else v_min
+        self._v_max = float(values.max()) if v_max is None else v_max
+        if self._v_max <= self._v_min:
+            self._v_max = self._v_min + 1e-9
+
+        span = self._v_max - self._v_min
+        levels = np.rint(
+            (np.clip(values, self._v_min, self._v_max) - self._v_min)
+            / span * (self.n_levels - 1))
+        g_lo, g_hi = self.params.g_ap, self.params.g_p
+        g = g_lo + levels / (self.n_levels - 1) * (g_hi - g_lo)
+        if self.variability is not None:
+            g = self.variability.perturb_conductances(g)
+        if self._defects is not None:
+            g = self._defects.apply_to_conductances(g, g_hi, g_lo)
+        self._g = g
+        # Each multi-level cell programs ceil(log2(levels)) junction writes.
+        writes_per_cell = max(1, int(np.ceil(np.log2(self.n_levels))))
+        self.ledger.add("mtj_write", values.size * writes_per_cell)
+
+    def stored_values(self) -> np.ndarray:
+        """Decode current conductances back to the value scale."""
+        if self._g is None:
+            raise RuntimeError("crossbar not programmed")
+        g_lo, g_hi = self.params.g_ap, self.params.g_p
+        frac = (self._g - g_lo) / (g_hi - g_lo)
+        return self._v_min + np.clip(frac, 0.0, 1.0) * (self._v_max - self._v_min)
+
+    def matvec(self, inputs: np.ndarray) -> np.ndarray:
+        """Analog MVM: (N, n_rows) voltages → (N, n_cols) decoded values."""
+        if self._g is None:
+            raise RuntimeError("crossbar not programmed")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 1:
+            inputs = inputs[None, :]
+        g = self._g
+        if self.variability is not None:
+            g = self.variability.read_noise(g)
+        g_lo, g_hi = self.params.g_ap, self.params.g_p
+        # Decode conductances to values on the fly; the offset term
+        # (g_lo) is removed by the reference column in hardware.
+        values = (self._v_min
+                  + np.clip((g - g_lo) / (g_hi - g_lo), -0.5, 1.5)
+                  * (self._v_max - self._v_min))
+        out = inputs @ values
+        batch = inputs.shape[0]
+        self.ledger.add("crossbar_cell_access", self.n_rows * self.n_cols * batch)
+        self.ledger.add("dac_drive", self.n_rows * batch)
+        return out

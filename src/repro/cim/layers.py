@@ -1,0 +1,429 @@
+"""Deployed CIM layers: inference-only, numpy-level, fully accounted.
+
+After training (with :mod:`repro.nn`), a model is *deployed*: binary
+weights are programmed into XNOR crossbars (with variability and
+defects applied at programming time), scales/batch-norm constants are
+frozen into digital periphery, and inference runs through the analog
+chain: wordline drive → current summation → ADC → digital
+accumulate/scale/normalize → sign.  This mirrors the Fig. 2
+architecture one-to-one.
+
+All layers book operations on a shared :class:`OpLedger`, which the
+energy model prices to regenerate Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cim.adc import ADC, PopcountADC
+from repro.cim.crossbar import XnorCrossbar
+from repro.cim.ledger import OpLedger
+from repro.cim.mapping import ConvShape, MappingPlan, MappingStrategy, plan_conv_mapping
+from repro.devices.defects import DefectModel
+from repro.devices.mtj import MTJParams
+from repro.devices.variability import DeviceVariability
+from repro.tensor.functional import im2col
+
+
+class CimConfig:
+    """Deployment configuration shared by all layers of a network."""
+
+    def __init__(self,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 defects: Optional[DefectModel] = None,
+                 adc_bits: int = 6,
+                 max_rows: int = 128,
+                 max_cols: int = 128,
+                 wire_resistance: float = 0.0,
+                 mapping_strategy: MappingStrategy = MappingStrategy.UNFOLDED_COLUMN,
+                 seed: Optional[int] = None):
+        self.mtj_params = mtj_params or MTJParams()
+        self.variability = variability
+        self.defects = defects
+        self.adc_bits = adc_bits
+        self.max_rows = max_rows
+        self.max_cols = max_cols
+        self.wire_resistance = wire_resistance
+        self.mapping_strategy = mapping_strategy
+        self.rng = np.random.default_rng(seed)
+
+
+class CimLayer:
+    """Base class: every deployed stage shares the network ledger."""
+
+    def __init__(self, ledger: OpLedger):
+        self.ledger = ledger
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class CimLinear(CimLayer):
+    """Binary linear layer on tiled XNOR crossbars.
+
+    The logical (in_features × out_features) weight matrix is tiled
+    onto physical arrays of at most (max_rows × max_cols); each row
+    tile's partial MAC is ADC-converted and accumulated digitally.
+
+    ``input_mask`` (settable per pass) gates wordlines — the hardware
+    realization of neuron dropout from the preceding layer.
+    """
+
+    def __init__(self, binary_weights: np.ndarray,
+                 scale: Optional[np.ndarray],
+                 bias: Optional[np.ndarray],
+                 config: CimConfig, ledger: OpLedger):
+        super().__init__(ledger)
+        weights = np.asarray(binary_weights, dtype=np.float64)  # (out, in)
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("CimLinear requires ±1 weights")
+        self.out_features, self.in_features = weights.shape
+        self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.config = config
+        self.input_mask: Optional[np.ndarray] = None
+        self.scale_multiplier: float | np.ndarray = 1.0
+
+        w = weights.T                                   # rows=in, cols=out
+        self.row_chunks = [(i, min(i + config.max_rows, self.in_features))
+                           for i in range(0, self.in_features, config.max_rows)]
+        self.col_chunks = [(j, min(j + config.max_cols, self.out_features))
+                           for j in range(0, self.out_features, config.max_cols)]
+        self.crossbars: List[List[XnorCrossbar]] = []
+        self.adcs: List[ADC] = []
+        for (r0, r1) in self.row_chunks:
+            row_bars = []
+            for (c0, c1) in self.col_chunks:
+                bar = XnorCrossbar(
+                    r1 - r0, c1 - c0,
+                    mtj_params=config.mtj_params,
+                    variability=config.variability,
+                    defects=config.defects,
+                    wire_resistance=config.wire_resistance,
+                    rng=config.rng, ledger=ledger)
+                bar.program(w[r0:r1, c0:c1])
+                row_bars.append(bar)
+            self.crossbars.append(row_bars)
+            self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
+                                         ledger=ledger))
+
+    @property
+    def n_crossbars(self) -> int:
+        return len(self.row_chunks) * len(self.col_chunks)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        bits = np.sign(x)     # binarize; exact zeros stay gated (dropout)
+        out = np.zeros((x.shape[0], self.out_features))
+        for i, (r0, r1) in enumerate(self.row_chunks):
+            mask = None
+            if self.input_mask is not None:
+                mask = np.asarray(self.input_mask, dtype=np.float64)[r0:r1]
+            partial = np.zeros_like(out)
+            for j, (c0, c1) in enumerate(self.col_chunks):
+                partial[:, c0:c1] = self.crossbars[i][j].matvec(
+                    bits[:, r0:r1], row_mask=mask)
+            out += self.adcs[i].convert(partial)
+        if self.scale is not None:
+            out = out * (self.scale * self.scale_multiplier)
+            self.ledger.add("digital_mac", out.size)
+        elif not np.isscalar(self.scale_multiplier) or self.scale_multiplier != 1.0:
+            out = out * self.scale_multiplier
+            self.ledger.add("digital_mac", out.size)
+        if self.bias is not None:
+            out = out + self.bias
+            self.ledger.add("digital_op", out.size)
+        return out
+
+
+class CimConv2d(CimLayer):
+    """Binary convolution on crossbars under a Fig.-1 mapping plan.
+
+    Uses im2col so the analog MAC is the same XNOR popcount as
+    :class:`CimLinear`; the mapping plan controls row chunking (and
+    therefore partial-sum count, ADC conversions, and where the
+    spatial-dropout modules sit).
+
+    ``channel_mask`` (settable per pass, shape (C_in,)) gates all
+    wordline groups / sub-crossbars belonging to an input feature map —
+    the MC-SpatialDropout hardware mechanism.
+    """
+
+    def __init__(self, binary_weights: np.ndarray,
+                 scale: Optional[np.ndarray],
+                 bias: Optional[np.ndarray],
+                 stride: int, padding: int,
+                 config: CimConfig, ledger: OpLedger):
+        super().__init__(ledger)
+        weights = np.asarray(binary_weights, dtype=np.float64)
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("CimConv2d requires ±1 weights")
+        self.c_out, self.c_in, self.kh, self.kw = weights.shape
+        if self.kh != self.kw:
+            raise ValueError("only square kernels supported")
+        self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.config = config
+        self.channel_mask: Optional[np.ndarray] = None
+        self.scale_multiplier: float | np.ndarray = 1.0
+
+        self.plan: MappingPlan = plan_conv_mapping(
+            ConvShape(self.c_in, self.c_out, self.kh),
+            config.mapping_strategy,
+            max_rows=config.max_rows, max_cols=config.max_cols)
+
+        w = weights.reshape(self.c_out, -1).T            # (K2*Cin, Cout)
+        self.crossbars: List[List[XnorCrossbar]] = []
+        self.adcs: List[ADC] = []
+        for (r0, r1) in self.plan.row_chunks:
+            row_bars = []
+            for (c0, c1) in self.plan.col_chunks:
+                bar = XnorCrossbar(
+                    r1 - r0, c1 - c0,
+                    mtj_params=config.mtj_params,
+                    variability=config.variability,
+                    defects=config.defects,
+                    wire_resistance=config.wire_resistance,
+                    rng=config.rng, ledger=ledger)
+                bar.program(w[r0:r1, c0:c1])
+                row_bars.append(bar)
+            self.crossbars.append(row_bars)
+            self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
+                                         ledger=ledger))
+
+    def _row_mask_for_chunk(self, r0: int, r1: int) -> Optional[np.ndarray]:
+        """Translate the channel mask into wordline gating for a chunk.
+
+        Row ``r`` of the unfolded K·K·C_in axis belongs to input
+        channel ``r // (K·K)`` (im2col orders channels outermost).
+        """
+        if self.channel_mask is None:
+            return None
+        k2 = self.kh * self.kw
+        channels = np.arange(r0, r1) // k2
+        return np.asarray(self.channel_mask, dtype=np.float64)[channels]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if self.padding:
+            x = np.pad(x, ((0, 0), (0, 0),
+                           (self.padding, self.padding),
+                           (self.padding, self.padding)))
+        cols, out_h, out_w = im2col(x, self.kh, self.kw, self.stride)
+        # cols: (N, K2*Cin, L) with channel-major rows -> flatten batch
+        # and spatial positions into MVM batch.
+        patches = np.sign(cols)   # zeros (dropped maps) stay gated
+        patches = patches.transpose(0, 2, 1).reshape(-1, cols.shape[1])
+
+        out = np.zeros((patches.shape[0], self.c_out))
+        for i, (r0, r1) in enumerate(self.plan.row_chunks):
+            mask = self._row_mask_for_chunk(r0, r1)
+            partial = np.zeros_like(out)
+            for j, (c0, c1) in enumerate(self.plan.col_chunks):
+                partial[:, c0:c1] = self.crossbars[i][j].matvec(
+                    patches[:, r0:r1], row_mask=mask)
+            out += self.adcs[i].convert(partial)
+
+        out = out.reshape(n, out_h * out_w, self.c_out).transpose(0, 2, 1)
+        out = out.reshape(n, self.c_out, out_h, out_w)
+        if self.scale is not None:
+            out = out * (self.scale * np.asarray(self.scale_multiplier)
+                         ).reshape(1, -1, 1, 1)
+            self.ledger.add("digital_mac", out.size)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+            self.ledger.add("digital_op", out.size)
+        return out
+
+
+class FrozenNorm(CimLayer):
+    """Batch/inverted normalization frozen to running statistics.
+
+    Deployment form of both BatchNorm and InvertedNorm: a per-feature
+    affine ``(x · g + b − mu) / sigma`` (inverted order) or
+    ``(x − mu) / sigma · g + b`` (standard order), computed digitally.
+    Affine-dropout masks are applied by the Bayesian wrapper through
+    ``gamma_multiplier`` / ``beta_multiplier``.
+    """
+
+    def __init__(self, mean: np.ndarray, var: np.ndarray,
+                 gamma: Optional[np.ndarray], beta: Optional[np.ndarray],
+                 eps: float, spatial: bool, inverted: bool,
+                 ledger: OpLedger):
+        super().__init__(ledger)
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.sqrt(np.asarray(var, dtype=np.float64) + eps)
+        self.gamma = None if gamma is None else np.asarray(gamma, np.float64)
+        self.beta = None if beta is None else np.asarray(beta, np.float64)
+        self.spatial = spatial
+        self.inverted = inverted
+        self.gamma_multiplier: float = 1.0
+        self.beta_multiplier: float = 1.0
+
+    def _shape(self, x: np.ndarray) -> tuple:
+        return (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shape = self._shape(x)
+        mean = self.mean.reshape(shape)
+        std = self.std.reshape(shape)
+        gamma = None if self.gamma is None else self.gamma.reshape(shape)
+        beta = None if self.beta is None else self.beta.reshape(shape)
+        if gamma is not None:
+            # Affine-dropout semantics: dropped gamma -> identity (1),
+            # dropped beta -> zero.
+            gamma = gamma * self.gamma_multiplier + (1.0 - self.gamma_multiplier)
+        if beta is not None:
+            beta = beta * self.beta_multiplier
+        if self.inverted:
+            out = x
+            if gamma is not None:
+                out = out * gamma
+            if beta is not None:
+                out = out + beta
+            out = (out - mean) / std
+        else:
+            out = (x - mean) / std
+            if gamma is not None:
+                out = out * gamma
+            if beta is not None:
+                out = out + beta
+        self.ledger.add("digital_mac", x.size)
+        return out
+
+
+class DropoutGate(CimLayer):
+    """Dropout mask stage between CIM layers.
+
+    A dropped neuron/feature-map outputs zero, which the next
+    crossbar's wordline decoder interprets as "do not assert this row"
+    (see :meth:`XnorCrossbar.matvec`), so masking here *is* the
+    hardware gating of Fig. 1.  Pure zeroing — no inverted-dropout
+    rescale — matching the training-side semantics.
+
+    ``mask`` is set per pass by the Bayesian wrapper: shape (F,) for
+    neuron masks, (C,) for channel masks (broadcast over H, W);
+    ``None`` = deterministic pass-through.
+    """
+
+    def __init__(self, p: float, channelwise: bool, ledger: OpLedger):
+        super().__init__(ledger)
+        self.p = p
+        self.channelwise = channelwise
+        self.mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.mask is None:
+            return x
+        keep = (np.asarray(self.mask, dtype=np.float64) > 0).astype(np.float64)
+        self.ledger.add("digital_op", x.shape[0] * keep.size)
+        if self.channelwise:
+            if x.ndim != 4:
+                raise ValueError("channelwise DropoutGate expects NCHW")
+            return x * keep.reshape(1, -1, 1, 1)
+        return x * keep
+
+
+class DigitalScale(CimLayer):
+    """Scale-vector multiply from SRAM (the Fig. 2 scale path).
+
+    Deployment form of ScaleDropout / BayesianScale: the scale vector
+    is fetched from the 32-bit scale SRAM and multiplied into the
+    accumulated MAC digitally.  ``multiplier`` is the per-pass
+    stochastic modulation (scalar for Scale-Dropout, vector for a
+    Bayesian-scale posterior sample) set by the Bayesian wrapper.
+    """
+
+    def __init__(self, scale: np.ndarray, spatial: bool, ledger: OpLedger):
+        super().__init__(ledger)
+        self.scale = np.asarray(scale, dtype=np.float64)
+        self.spatial = spatial
+        self.multiplier: float | np.ndarray = 1.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        effective = self.scale * self.multiplier
+        self.ledger.add("sram_read", self.scale.size)
+        self.ledger.add("digital_mac", x.size)
+        if self.spatial:
+            return x * effective.reshape(1, -1, 1, 1)
+        return x * effective
+
+
+class DigitalSign(CimLayer):
+    """Sign activation taken by sense amplifiers (1-bit readout)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.ledger.add("sa_read", x.size)
+        return np.where(x >= 0, 1.0, -1.0)
+
+
+class DigitalReLU(CimLayer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.ledger.add("digital_op", x.size)
+        return np.maximum(x, 0.0)
+
+
+class DigitalMaxPool(CimLayer):
+    def __init__(self, kernel: int, ledger: OpLedger):
+        super().__init__(ledger)
+        self.kernel = kernel
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        h2, w2 = h // k, w // k
+        view = x[:, :, :h2 * k, :w2 * k].reshape(n, c, h2, k, w2, k)
+        self.ledger.add("digital_op", x.size)
+        return view.max(axis=(3, 5))
+
+
+class DigitalFlatten(CimLayer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class CimNetwork:
+    """A deployed network: an ordered list of CIM stages + one ledger.
+
+    The Bayesian wrappers drive stochastic behaviour by setting stage
+    attributes (``input_mask``, ``channel_mask``, ``scale_multiplier``,
+    ``gamma_multiplier``) between forward passes.
+    """
+
+    def __init__(self, stages: Sequence[CimLayer], ledger: OpLedger,
+                 config: CimConfig):
+        self.stages = list(stages)
+        self.ledger = ledger
+        self.config = config
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for stage in self.stages:
+            x = stage(x)
+        return x
+
+    __call__ = forward
+
+    def mvm_layers(self) -> List[CimLayer]:
+        """The analog (crossbar-backed) stages, in order."""
+        return [s for s in self.stages
+                if isinstance(s, (CimLinear, CimConv2d))]
+
+    @property
+    def n_crossbars(self) -> int:
+        total = 0
+        for stage in self.stages:
+            if isinstance(stage, CimLinear):
+                total += stage.n_crossbars
+            elif isinstance(stage, CimConv2d):
+                total += stage.plan.n_crossbars
+        return total

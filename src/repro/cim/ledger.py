@@ -1,0 +1,67 @@
+"""Operation ledger: the accounting backbone of the energy model.
+
+Every CIM component (crossbar, ADC, sense amp, RNG, SRAM, digital
+peripheral) books its operations here during simulation.  The energy
+model (:mod:`repro.energy`) prices a ledger with per-operation
+constants — this separation is what lets the reproduction regenerate
+the paper's energy *ratios* from op counts rather than hard-coding
+outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+
+class OpLedger:
+    """Counter of named operations.
+
+    Canonical operation names used across the package:
+
+    ``crossbar_cell_access``  one cell contributing to one MVM readout
+    ``adc_conversion``        one column ADC conversion
+    ``sa_read``               one sense-amplifier binary readout
+    ``mtj_write``             one deterministic MTJ programming pulse
+    ``rng_cycle``             one SET-read-RESET stochastic cycle
+    ``sram_read`` / ``sram_write``  32-bit SRAM word accesses
+    ``digital_mac``           one digital multiply-accumulate (periphery)
+    ``digital_op``            one misc. digital operation (add, compare)
+    ``dac_drive``             one input-line drive event
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def add(self, op: str, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("operation count cannot be negative")
+        self.counts[op] += int(n)
+
+    def merge(self, other: "OpLedger") -> None:
+        self.counts.update(other.counts)
+
+    def scaled(self, factor: float) -> "OpLedger":
+        """Return a copy with all counts multiplied (e.g. per-image)."""
+        out = OpLedger()
+        for op, count in self.counts.items():
+            out.counts[op] = int(round(count * factor))
+        return out
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def __getitem__(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def total(self, ops: Iterable[str] | None = None) -> int:
+        if ops is None:
+            return sum(self.counts.values())
+        return sum(self.counts.get(op, 0) for op in ops)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"OpLedger({body})"

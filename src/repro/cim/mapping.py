@@ -1,0 +1,162 @@
+"""Convolution-to-crossbar mapping strategies (Fig. 1).
+
+The paper explores two prevalent strategies for mapping a conv layer
+with kernels shaped (C_out, C_in, K, K) onto crossbars:
+
+* **Strategy ①** (Gokmen et al. [21]): every kernel is unfolded into
+  one crossbar *column* of height K·K·C_in; the layer occupies one
+  logical crossbar of (K·K·C_in) × C_out (tiled to the physical array
+  size).  Spatial dropout of an *input* feature map gates K·K
+  consecutive rows — one dropout module per input channel group.
+* **Strategy ②** (Peng et al. [22]): each kernel is decomposed into
+  K×K sub-kernels mapped onto small K×K crossbars arranged as a
+  C_in × C_out grid; partial sums are accumulated across the C_in
+  axis.  Spatial dropout gates entire sub-crossbars — the dropout
+  module drives a crossbar-enable rather than a wordline group.
+
+Both strategies compute the same convolution; they differ in crossbar
+count, ADC conversions per output, dropout-module placement and
+partial-sum accumulation — precisely the trade-offs the F1 benchmark
+quantifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import List, Tuple
+
+
+class MappingStrategy(enum.Enum):
+    """The two Fig.-1 mapping strategies."""
+
+    UNFOLDED_COLUMN = 1   # strategy ①
+    TILED_KXK = 2         # strategy ②
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvShape:
+    """Static shape of a convolutional layer."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+
+    @property
+    def weights_per_kernel(self) -> int:
+        return self.kernel_size ** 2 * self.in_channels
+
+
+@dataclasses.dataclass(frozen=True)
+class MappingPlan:
+    """Materialized mapping of one conv layer onto physical crossbars.
+
+    ``row_chunks`` lists, per logical crossbar, the (start, stop) row
+    interval of the unfolded K·K·C_in input axis it covers — partial
+    sums across chunks are accumulated digitally after the ADC.
+    """
+
+    strategy: MappingStrategy
+    shape: ConvShape
+    crossbar_rows: int
+    crossbar_cols: int
+    n_crossbars: int
+    row_chunks: Tuple[Tuple[int, int], ...]
+    col_chunks: Tuple[Tuple[int, int], ...]
+    dropout_modules: int
+
+    @property
+    def cells_total(self) -> int:
+        return self.n_crossbars * self.crossbar_rows * self.crossbar_cols
+
+    @property
+    def cells_used(self) -> int:
+        used = 0
+        for r0, r1 in self.row_chunks:
+            for c0, c1 in self.col_chunks:
+                used += (r1 - r0) * (c1 - c0)
+        return used
+
+    @property
+    def utilization(self) -> float:
+        return self.cells_used / max(self.cells_total, 1)
+
+    @property
+    def adc_conversions_per_output(self) -> int:
+        """ADC conversions needed per output activation.
+
+        Every row chunk produces a separately converted partial sum.
+        """
+        return len(self.row_chunks)
+
+
+def _chunk(total: int, size: int) -> List[Tuple[int, int]]:
+    return [(i, min(i + size, total)) for i in range(0, total, size)]
+
+
+def plan_conv_mapping(shape: ConvShape,
+                      strategy: MappingStrategy,
+                      max_rows: int = 128,
+                      max_cols: int = 128) -> MappingPlan:
+    """Build the crossbar plan for a conv layer under a strategy.
+
+    ``max_rows``/``max_cols`` is the physical array size; logical
+    matrices larger than that are tiled.
+    """
+    k2 = shape.kernel_size ** 2
+    total_rows = k2 * shape.in_channels
+    total_cols = shape.out_channels
+
+    if strategy is MappingStrategy.UNFOLDED_COLUMN:
+        row_chunks = _chunk(total_rows, max_rows)
+        col_chunks = _chunk(total_cols, max_cols)
+        n_crossbars = len(row_chunks) * len(col_chunks)
+        # One dropout module gates the K·K wordline group of each input
+        # channel (enabled via the multi-address WL decoder); module
+        # count = input channels (feature maps), NOT neurons.
+        dropout_modules = shape.in_channels
+        return MappingPlan(
+            strategy=strategy, shape=shape,
+            crossbar_rows=max_rows, crossbar_cols=max_cols,
+            n_crossbars=n_crossbars,
+            row_chunks=tuple(row_chunks), col_chunks=tuple(col_chunks),
+            dropout_modules=dropout_modules)
+
+    if strategy is MappingStrategy.TILED_KXK:
+        # One K×K crossbar per (c_in, c_out) pair; rows chunked per
+        # input channel (each chunk is k2 rows of the unfolded axis).
+        row_chunks = _chunk(total_rows, k2)
+        col_chunks = _chunk(total_cols, 1)
+        n_crossbars = shape.in_channels * shape.out_channels
+        # Dropout gates a whole row of sub-crossbars (one input feature
+        # map) via a crossbar-enable: one module per input channel.
+        dropout_modules = shape.in_channels
+        return MappingPlan(
+            strategy=strategy, shape=shape,
+            crossbar_rows=shape.kernel_size, crossbar_cols=shape.kernel_size,
+            n_crossbars=n_crossbars,
+            row_chunks=tuple(row_chunks), col_chunks=tuple(col_chunks),
+            dropout_modules=dropout_modules)
+
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def spindrop_module_count(neurons_per_layer: List[int]) -> int:
+    """Dropout modules for classic SpinDrop: one per neuron."""
+    return sum(neurons_per_layer)
+
+
+def spatial_module_count(channels_per_conv: List[int]) -> int:
+    """Dropout modules for MC-SpatialDropout: one per feature map."""
+    return sum(channels_per_conv)
+
+
+def scale_module_count(n_layers: int) -> int:
+    """Dropout modules for Scale-Dropout: a single module per layer."""
+    return n_layers
+
+
+def dropconnect_module_count(weights_per_layer: List[int]) -> int:
+    """Dropout modules for MC-DropConnect: one per weight."""
+    return sum(weights_per_layer)

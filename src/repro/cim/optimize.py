@@ -1,0 +1,82 @@
+"""Deployment-graph optimizations.
+
+Real CIM compilers fold adjacent digital stages so the periphery does
+less work per inference.  Implemented passes:
+
+* :func:`fold_norm_into_scale` — a FrozenNorm (standard order)
+  directly following a DigitalScale collapses into a single affine
+  stage: ``((x·s)−µ)/σ·γ+β = x·(sγ/σ) + (β−µγ/σ)``.  Halves the
+  digital MAC count of every scale+norm pair (e.g. the Fig.-2
+  Scale-Dropout pipeline) without changing any output, *provided* the
+  scale multiplier is deterministic — stochastic stages (a live
+  scale-dropout binding) are left untouched so Bayesian behaviour is
+  preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cim.layers import CimLayer, CimNetwork, DigitalScale, FrozenNorm
+from repro.cim.ledger import OpLedger
+
+
+class FoldedAffine(CimLayer):
+    """A single digital affine stage: ``y = x · a + b``."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, spatial: bool,
+                 ledger: OpLedger):
+        super().__init__(ledger)
+        self.a = np.asarray(a, dtype=np.float64)
+        self.b = np.asarray(b, dtype=np.float64)
+        self.spatial = spatial
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.ledger.add("digital_mac", x.size)
+        if self.spatial:
+            return x * self.a.reshape(1, -1, 1, 1) \
+                + self.b.reshape(1, -1, 1, 1)
+        return x * self.a + self.b
+
+
+def _can_fold(scale: DigitalScale, norm: FrozenNorm) -> bool:
+    """Folding is valid only for deterministic, standard-order pairs."""
+    if norm.inverted:
+        return False
+    if not np.isscalar(scale.multiplier) or scale.multiplier != 1.0:
+        return False
+    if norm.gamma_multiplier != 1.0 or norm.beta_multiplier != 1.0:
+        return False
+    return True
+
+
+def fold_norm_into_scale(network: CimNetwork,
+                         bound_stages: Optional[set] = None) -> int:
+    """Fold DigitalScale→FrozenNorm pairs in place; returns fold count.
+
+    ``bound_stages`` lists stages driven by a Bayesian wrapper (their
+    multipliers change per pass) — those are never folded.
+    """
+    bound = bound_stages or set()
+    stages: List[CimLayer] = network.stages
+    folded = 0
+    i = 0
+    while i < len(stages) - 1:
+        scale, norm = stages[i], stages[i + 1]
+        if (isinstance(scale, DigitalScale) and isinstance(norm, FrozenNorm)
+                and id(scale) not in bound and id(norm) not in bound
+                and _can_fold(scale, norm)):
+            gamma = norm.gamma if norm.gamma is not None \
+                else np.ones_like(norm.mean)
+            beta = norm.beta if norm.beta is not None \
+                else np.zeros_like(norm.mean)
+            a = scale.scale * gamma / norm.std
+            b = beta - norm.mean * gamma / norm.std
+            stages[i:i + 2] = [FoldedAffine(a, b, scale.spatial,
+                                            network.ledger)]
+            folded += 1
+            continue
+        i += 1
+    return folded

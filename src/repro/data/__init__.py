@@ -1,0 +1,41 @@
+"""Synthetic datasets, corruptions, OOD sources and loaders."""
+
+from repro.data.synthetic import (
+    blob_dataset,
+    synth_digits,
+    synth_letters,
+    texture_dataset,
+)
+from repro.data.corruptions import CORRUPTIONS, corrupt
+from repro.data import ood
+from repro.data.timeseries import (
+    forecast_dataset,
+    multisine_series,
+    windowed_forecast,
+)
+from repro.data.segmentation import (
+    N_SEG_CLASSES,
+    class_frequencies,
+    segmentation_scenes,
+)
+from repro.data.pairs import synth_pairs
+from repro.data.loaders import batches, train_test_split
+
+__all__ = [
+    "synth_digits",
+    "synth_letters",
+    "blob_dataset",
+    "texture_dataset",
+    "CORRUPTIONS",
+    "corrupt",
+    "ood",
+    "multisine_series",
+    "windowed_forecast",
+    "forecast_dataset",
+    "batches",
+    "segmentation_scenes",
+    "class_frequencies",
+    "N_SEG_CLASSES",
+    "synth_pairs",
+    "train_test_split",
+]

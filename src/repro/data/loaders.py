@@ -1,0 +1,37 @@
+"""Dataset utilities: splits and minibatch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray, test_frac: float = 0.2,
+                     seed: Optional[int] = None):
+    """Shuffled split into (x_train, y_train), (x_test, y_test)."""
+    if len(x) != len(y):
+        raise ValueError("x and y length mismatch")
+    if not 0.0 < test_frac < 1.0:
+        raise ValueError("test_frac must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    cut = int(len(x) * (1.0 - test_frac))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return (x[train_idx], y[train_idx]), (x[test_idx], y[test_idx])
+
+
+def batches(x: np.ndarray, y: np.ndarray, batch_size: int = 64,
+            shuffle: bool = True, seed: Optional[int] = None,
+            drop_last: bool = False
+            ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield minibatches; reshuffles each call when ``shuffle``."""
+    n = len(x)
+    order = np.arange(n)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield x[idx], y[idx]

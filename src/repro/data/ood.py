@@ -1,0 +1,81 @@
+"""Out-of-distribution (OOD) data sources.
+
+The paper's OOD protocol (Sec. III-A.1, III-A.4, III-B.2): feed the
+model inputs it was never trained on and check whether predictive
+uncertainty flags them.  Sources mirror the paper's experiments:
+
+* ``uniform_noise`` — pure U(−1, 1) pixels (the "uniform noise"
+  experiment of Sec. III-A.4, 55.03 % detection headline).
+* ``random_rotation`` — in-distribution images rotated by large random
+  angles (the "random rotation" experiment, 78.95 % headline).
+* ``letters`` — the SynthLetters glyph family: same renderer,
+  never-seen shapes (the "several out-of-distribution datasets" of
+  SpinBayes, 100 % headline).
+* ``amplitude_shift`` — in-distribution images scaled/offset outside
+  the training range (dataset-shift NLL experiment of Sec. III-B.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.data.synthetic import synth_letters
+
+
+def uniform_noise(n_samples: int, n_features: int,
+                  seed: Optional[int] = None,
+                  flat: bool = True) -> np.ndarray:
+    """U(−1, 1) noise images."""
+    rng = np.random.default_rng(seed)
+    if flat:
+        return rng.uniform(-1.0, 1.0, size=(n_samples, n_features))
+    side = int(round(np.sqrt(n_features)))
+    return rng.uniform(-1.0, 1.0, size=(n_samples, 1, side, side))
+
+
+def random_rotation(x: np.ndarray, min_deg: float = 60.0,
+                    max_deg: float = 120.0,
+                    seed: Optional[int] = None) -> np.ndarray:
+    """Rotate in-distribution images by large random angles.
+
+    Angles are far outside the jitter the renderer applies, so the
+    rotated digits are OOD while keeping pixel statistics similar —
+    the harder detection problem of the two noise experiments (and the
+    paper indeed reports a higher detection rate for rotation than for
+    uniform noise is *not* the case; rotation detects better, 78.95 %
+    vs 55.03 % — our benchmark C4 checks that ordering).
+    """
+    rng = np.random.default_rng(seed)
+    flat = x.ndim == 2
+    if flat:
+        n, d = x.shape
+        side = int(round(np.sqrt(d)))
+        images = x.reshape(n, 1, side, side)
+    else:
+        images = x
+    out = np.empty_like(images)
+    for i in range(images.shape[0]):
+        angle = float(rng.uniform(min_deg, max_deg))
+        if rng.random() < 0.5:
+            angle = -angle
+        out[i] = ndimage.rotate(images[i], angle, axes=(1, 2),
+                                reshape=False, order=1, mode="nearest",
+                                cval=-1.0)
+    out = np.clip(out, -1.0, 1.0)
+    return out.reshape(x.shape) if flat else out
+
+
+def letters(n_samples: int, size: int = 16, seed: Optional[int] = None,
+            flat: bool = True) -> np.ndarray:
+    """SynthLetters images (labels discarded — they are all OOD)."""
+    images, _ = synth_letters(n_samples, size=size, seed=seed, flat=flat)
+    return images
+
+
+def amplitude_shift(x: np.ndarray, scale: float = 0.4,
+                    offset: float = -0.5) -> np.ndarray:
+    """Compress and shift pixel amplitudes outside the training range."""
+    return np.clip(x * scale + offset, -1.0, 1.0)

@@ -1,0 +1,99 @@
+"""Synthetic semantic-segmentation dataset (the scene-understanding
+substitute).
+
+The paper evaluates SpinBayes "in classification tasks with up to 100
+classes and semantic segmentation tasks on two safety-critical tasks:
+medical image diagnosis and automotive scene understanding"
+(§III-B.2).  Offline we synthesize a scene-like task: each image
+contains a horizon-split background plus 1–3 objects of two classes —
+"disc" (round obstacle) and "bar" (lane-like stripe) — and the label
+is a per-pixel class map:
+
+    0 = background, 1 = disc, 2 = bar
+
+Objects vary in position, size, orientation and intensity; Gaussian
+pixel noise is added.  The generator also provides an OOD variant
+("triangle" objects never seen in training) for per-pixel uncertainty
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+N_SEG_CLASSES = 3
+
+
+def _disc(canvas, mask, rng, size):
+    cy, cx = rng.uniform(size * 0.2, size * 0.8, 2)
+    radius = rng.uniform(size * 0.1, size * 0.2)
+    yy, xx = np.mgrid[0:size, 0:size]
+    inside = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius ** 2
+    canvas[inside] = rng.uniform(0.6, 1.0)
+    mask[inside] = 1
+
+
+def _bar(canvas, mask, rng, size):
+    angle = rng.uniform(0, np.pi)
+    offset = rng.uniform(-size * 0.25, size * 0.25)
+    width = rng.uniform(1.0, 2.5)
+    yy, xx = np.mgrid[0:size, 0:size]
+    distance = ((yy - size / 2) * np.cos(angle)
+                - (xx - size / 2) * np.sin(angle) - offset)
+    inside = np.abs(distance) <= width
+    canvas[inside] = rng.uniform(0.5, 0.9)
+    mask[inside] = 2
+
+
+def _triangle(canvas, mask, rng, size):
+    """OOD object class (never in the training label set)."""
+    cy, cx = rng.uniform(size * 0.3, size * 0.7, 2)
+    half = rng.uniform(size * 0.12, size * 0.22)
+    yy, xx = np.mgrid[0:size, 0:size]
+    inside = ((yy >= cy - half) & (yy <= cy + half)
+              & (np.abs(xx - cx) <= (yy - (cy - half)) / 2))
+    canvas[inside] = rng.uniform(0.6, 1.0)
+    mask[inside] = 1  # labelled as disc so accuracy drops measurably
+
+
+def segmentation_scenes(n_samples: int = 500, size: int = 16,
+                        seed: Optional[int] = None,
+                        ood_objects: bool = False,
+                        noise: float = 0.05
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate (images, masks).
+
+    Returns images (N, 1, size, size) in [−1, 1] and integer masks
+    (N, size, size) in {0, 1, 2}.  With ``ood_objects`` the scenes
+    contain triangles (unknown object class) instead of discs.
+    """
+    rng = np.random.default_rng(seed)
+    images = np.empty((n_samples, 1, size, size))
+    masks = np.zeros((n_samples, size, size), dtype=np.int64)
+    for i in range(n_samples):
+        canvas = np.zeros((size, size))
+        mask = np.zeros((size, size), dtype=np.int64)
+        # Horizon-split background (scene-like intensity gradient).
+        horizon = int(rng.uniform(size * 0.3, size * 0.7))
+        canvas[:horizon] = rng.uniform(0.05, 0.2)
+        canvas[horizon:] = rng.uniform(0.25, 0.4)
+        n_objects = int(rng.integers(1, 4))
+        for _ in range(n_objects):
+            if ood_objects:
+                _triangle(canvas, mask, rng, size)
+            elif rng.random() < 0.5:
+                _disc(canvas, mask, rng, size)
+            else:
+                _bar(canvas, mask, rng, size)
+        canvas = canvas + rng.normal(0, noise, canvas.shape)
+        images[i, 0] = np.clip(canvas, 0.0, 1.0) * 2.0 - 1.0
+        masks[i] = mask
+    return images, masks
+
+
+def class_frequencies(masks: np.ndarray) -> np.ndarray:
+    """Pixel share of each class (for loss weighting / sanity checks)."""
+    counts = np.bincount(masks.reshape(-1), minlength=N_SEG_CLASSES)
+    return counts / counts.sum()

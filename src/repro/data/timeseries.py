@@ -1,0 +1,47 @@
+"""Synthetic time series for the affine-dropout RMSE experiment (C4).
+
+A multi-sine process with trend and noise, windowed into
+(history → next value) forecasting pairs — the stand-in for the
+paper's LSTM-based time-series prediction task (Sec. III-A.4,
+"the root mean square error (RMSE) score is reduced by up to 46.7%").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def multisine_series(n_points: int = 2000, seed: Optional[int] = None,
+                     noise: float = 0.05) -> np.ndarray:
+    """One realization of the multi-sine + trend process, scaled to ~[−1, 1]."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_points, dtype=np.float64)
+    series = (np.sin(2 * np.pi * t / 47.0)
+              + 0.5 * np.sin(2 * np.pi * t / 13.0 + 0.7)
+              + 0.25 * np.sin(2 * np.pi * t / 5.0 + 1.9)
+              + 0.0004 * t)
+    series += rng.normal(0.0, noise, size=n_points)
+    return series / np.abs(series).max()
+
+
+def windowed_forecast(series: np.ndarray, history: int = 24
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a series into (N, history, 1) inputs and (N, 1) targets."""
+    n = len(series) - history
+    if n <= 0:
+        raise ValueError("series shorter than history window")
+    x = np.stack([series[i:i + history] for i in range(n)])[:, :, None]
+    y = series[history:][:, None]
+    return x, y
+
+
+def forecast_dataset(n_points: int = 2000, history: int = 24,
+                     train_frac: float = 0.8, seed: Optional[int] = None,
+                     noise: float = 0.05):
+    """Train/test forecasting split (chronological, no leakage)."""
+    series = multisine_series(n_points, seed=seed, noise=noise)
+    x, y = windowed_forecast(series, history=history)
+    cut = int(len(x) * train_frac)
+    return (x[:cut], y[:cut]), (x[cut:], y[cut:])

@@ -1,0 +1,56 @@
+"""Spintronic device substrate: MTJ physics, variability, defects, RNGs.
+
+Everything above this package treats devices behaviourally; this
+package is the single place where the physics lives (switching law,
+P/AP conductances, thermal-stability spread, fault taxonomy).
+"""
+
+from repro.devices.mtj import (
+    MTJ,
+    MTJParams,
+    MTJState,
+    SwitchingType,
+    current_for_probability,
+    switching_probability,
+)
+from repro.devices.variability import (
+    DeviceVariability,
+    VariabilityParams,
+    effective_dropout_probabilities,
+    fit_gaussian,
+)
+from repro.devices.defects import (
+    FAULT_NONE,
+    FAULT_RETENTION,
+    FAULT_STUCK_AP,
+    FAULT_STUCK_P,
+    FAULT_WRITE,
+    DefectModel,
+    DefectRates,
+)
+from repro.devices.rng import SpintronicRNG
+from repro.devices.arbiter import SpintronicArbiter
+from repro.devices.multilevel import MultiLevelCell
+
+__all__ = [
+    "MTJ",
+    "MTJParams",
+    "MTJState",
+    "SwitchingType",
+    "switching_probability",
+    "current_for_probability",
+    "DeviceVariability",
+    "VariabilityParams",
+    "effective_dropout_probabilities",
+    "fit_gaussian",
+    "DefectModel",
+    "DefectRates",
+    "FAULT_NONE",
+    "FAULT_STUCK_P",
+    "FAULT_STUCK_AP",
+    "FAULT_WRITE",
+    "FAULT_RETENTION",
+    "SpintronicRNG",
+    "SpintronicArbiter",
+    "MultiLevelCell",
+]

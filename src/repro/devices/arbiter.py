@@ -1,0 +1,119 @@
+"""Spintronic stochastic arbiter (Fig. 3, SpinBayes).
+
+The SpinBayes layer architecture maps the approximate posterior onto
+``N`` crossbars and, on every Bayesian forward pass, a *spintronic
+arbiter* at the periphery "generates a random binary one-hot vector to
+determine the selection" of which crossbar performs the MAC.
+
+The arbiter here is built from the same stochastic-MTJ primitive as
+the SpinDrop RNG: a chain of SET-read-RESET coin flips binary-searches
+the ``N`` candidates (ceil(log2 N) flips per selection), yielding a
+uniform one-hot without any CMOS PRNG.  Optionally a non-uniform
+categorical distribution can be programmed by adjusting per-stage
+switching probabilities — used when the posterior mixture weights are
+not uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.devices.mtj import MTJParams
+from repro.devices.rng import SpintronicRNG
+from repro.devices.variability import DeviceVariability
+
+
+class SpintronicArbiter:
+    """One-hot selector over ``n_choices`` crossbars.
+
+    Parameters
+    ----------
+    n_choices:
+        Number of crossbars (posterior components) to select among.
+    weights:
+        Optional categorical probabilities (default uniform).
+    """
+
+    def __init__(self, n_choices: int,
+                 weights: Optional[Sequence[float]] = None,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if n_choices < 2:
+            raise ValueError("arbiter needs at least two choices")
+        self.n_choices = n_choices
+        if weights is None:
+            self.weights = np.full(n_choices, 1.0 / n_choices)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n_choices,) or np.any(w < 0):
+                raise ValueError("weights must be non-negative, one per choice")
+            total = w.sum()
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            self.weights = w / total
+        self.n_stages = max(1, math.ceil(math.log2(n_choices)))
+        # One RNG module per binary-search stage; each selection costs
+        # n_stages SET-read-RESET cycles.
+        self._stage_rng = SpintronicRNG(
+            self.n_stages, p=0.5, mtj_params=mtj_params,
+            variability=variability, rng=rng)
+        self.selections = 0
+
+    # ------------------------------------------------------------------
+    def select(self) -> int:
+        """Draw one index via staged stochastic-MTJ coin flips.
+
+        Implements inverse-CDF sampling with ``n_stages`` binary
+        decisions: each stage flips a device whose programmed
+        probability equals the conditional mass of the upper half of
+        the remaining index interval.  With uniform weights this
+        reduces to a plain binary search on fair coins.
+        """
+        lo, hi = 0, self.n_choices  # half-open interval of candidates
+        cdf = np.concatenate([[0.0], np.cumsum(self.weights)])
+        for _ in range(self.n_stages):
+            if hi - lo <= 1:
+                # Interval resolved early; still burn the stage cycle
+                # (hardware runs a fixed number of stages).
+                self._stage_rng.generate(1)
+                continue
+            mid = (lo + hi) // 2
+            mass_total = cdf[hi] - cdf[lo]
+            mass_upper = cdf[hi] - cdf[mid]
+            p_upper = mass_upper / mass_total if mass_total > 0 else 0.5
+            # Reprogram the stage device to p_upper and flip it.  The
+            # software model short-circuits the current computation but
+            # still books the device cycle.
+            self._stage_rng.generate(1)
+            take_upper = self._stage_rng.rng.random() < p_upper
+            if take_upper:
+                lo = mid
+            else:
+                hi = mid
+        self.selections += 1
+        return lo
+
+    def select_one_hot(self) -> np.ndarray:
+        """Draw one selection as a one-hot float vector."""
+        one_hot = np.zeros(self.n_choices)
+        one_hot[self.select()] = 1.0
+        return one_hot
+
+    def select_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` selections (indices)."""
+        return np.asarray([self.select() for _ in range(n)], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles_per_selection(self) -> int:
+        """Device cycles consumed per one-hot draw."""
+        return self.n_stages
+
+    def empirical_distribution(self, n: int = 4096) -> np.ndarray:
+        """Monte-Carlo estimate of the realized selection distribution."""
+        counts = np.bincount(self.select_many(n), minlength=self.n_choices)
+        return counts / n

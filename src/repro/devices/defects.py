@@ -1,0 +1,171 @@
+"""Manufacturing defect and fault-injection models.
+
+Key takeaway #4 of the paper: modelling device defaults/defects is
+crucial for algorithm-hardware co-design.  The reproduction supports
+the standard MRAM fault taxonomy used by the self-healing experiments
+(Sec. III-A.4, "enhancing reliability ... at the edge"):
+
+* **stuck-at-P / stuck-at-AP** — the free layer cannot switch; the
+  stored bit is pinned to low/high conductance regardless of the
+  programmed weight.
+* **write failure** — a programming pulse silently fails, leaving the
+  previous state (modelled as a per-cell Bernoulli at deploy time).
+* **retention failure** — a thermally-activated spontaneous flip over
+  the deployment lifetime.
+
+Fault maps are materialized explicitly so an experiment can deploy the
+*same* network with and without faults and measure the accuracy drop /
+self-healing recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DefectRates:
+    """Per-cell probabilities of each fault class."""
+
+    stuck_at_p: float = 0.0
+    stuck_at_ap: float = 0.0
+    write_failure: float = 0.0
+    retention_failure: float = 0.0
+
+    def total(self) -> float:
+        return (self.stuck_at_p + self.stuck_at_ap
+                + self.write_failure + self.retention_failure)
+
+
+# Fault-map codes (int8 matrix parallel to the weight matrix).
+FAULT_NONE = 0
+FAULT_STUCK_P = 1
+FAULT_STUCK_AP = 2
+FAULT_WRITE = 3
+FAULT_RETENTION = 4
+
+
+class DefectModel:
+    """Samples fault maps and applies them to binary weight matrices."""
+
+    def __init__(self, rates: Optional[DefectRates] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.rates = rates or DefectRates()
+        self.rng = rng or np.random.default_rng()
+        if self.rates.total() > 1.0:
+            raise ValueError("total defect probability exceeds 1")
+
+    def sample_fault_map(self, shape: tuple) -> np.ndarray:
+        """Draw an independent fault class per cell."""
+        u = self.rng.random(shape)
+        fault_map = np.full(shape, FAULT_NONE, dtype=np.int8)
+        r = self.rates
+        edges = np.cumsum([r.stuck_at_p, r.stuck_at_ap,
+                           r.write_failure, r.retention_failure])
+        fault_map[u < edges[0]] = FAULT_STUCK_P
+        fault_map[(u >= edges[0]) & (u < edges[1])] = FAULT_STUCK_AP
+        fault_map[(u >= edges[1]) & (u < edges[2])] = FAULT_WRITE
+        fault_map[(u >= edges[2]) & (u < edges[3])] = FAULT_RETENTION
+        return fault_map
+
+    def apply_to_binary_weights(self, weights: np.ndarray,
+                                fault_map: Optional[np.ndarray] = None
+                                ) -> np.ndarray:
+        """Corrupt a ±1 weight matrix according to a fault map.
+
+        Conventions (bit encoding per :class:`repro.devices.mtj.MTJState`):
+        P state stores −1, AP stores +1.  Stuck-at-P pins the cell to
+        −1, stuck-at-AP to +1; write failure leaves a random previous
+        state; retention failure flips the sign.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("apply_to_binary_weights expects ±1 weights")
+        if fault_map is None:
+            fault_map = self.sample_fault_map(weights.shape)
+        out = weights.copy()
+        out[fault_map == FAULT_STUCK_P] = -1.0
+        out[fault_map == FAULT_STUCK_AP] = 1.0
+        write_mask = fault_map == FAULT_WRITE
+        if write_mask.any():
+            random_prev = self.rng.choice([-1.0, 1.0], size=int(write_mask.sum()))
+            out[write_mask] = random_prev
+        retention_mask = fault_map == FAULT_RETENTION
+        out[retention_mask] = -out[retention_mask]
+        return out
+
+    def apply_to_conductances(self, conductances: np.ndarray,
+                              g_p: float, g_ap: float,
+                              fault_map: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+        """Corrupt an analog conductance matrix (multi-level cells).
+
+        Stuck faults pin to the extreme conductances; write failures
+        re-draw a uniformly random level between them; retention flips
+        toward the opposite extreme by one TMR gap.
+        """
+        if fault_map is None:
+            fault_map = self.sample_fault_map(conductances.shape)
+        out = np.asarray(conductances, dtype=np.float64).copy()
+        out[fault_map == FAULT_STUCK_P] = g_p
+        out[fault_map == FAULT_STUCK_AP] = g_ap
+        write_mask = fault_map == FAULT_WRITE
+        if write_mask.any():
+            out[write_mask] = self.rng.uniform(
+                min(g_p, g_ap), max(g_p, g_ap), size=int(write_mask.sum()))
+        retention_mask = fault_map == FAULT_RETENTION
+        out[retention_mask] = g_p + g_ap - out[retention_mask]
+        return out
+
+    def retention_flip_probability(self, time_seconds: float,
+                                   delta: float = 40.0,
+                                   tau_0: float = 1e-9) -> float:
+        """Probability a stored bit flips within ``time_seconds``.
+
+        Néel–Brown retention: the mean time to a thermally activated
+        flip is ``tau_0 · exp(Δ)``, so
+        P(flip by t) = 1 − exp(−t / (tau_0·e^Δ)).  With Δ = 40 the
+        mean retention is ~7.5 years — individual weak devices
+        (low-Δ tail of the variability distribution) dominate the
+        observed failures.
+        """
+        if time_seconds < 0:
+            raise ValueError("time must be non-negative")
+        mean_retention = tau_0 * np.exp(delta)
+        return float(1.0 - np.exp(-time_seconds / mean_retention))
+
+    def age_binary_weights(self, weights: np.ndarray, time_seconds: float,
+                           deltas: Optional[np.ndarray] = None,
+                           tau_0: float = 1e-9) -> np.ndarray:
+        """Apply retention aging to a deployed ±1 weight matrix.
+
+        Each cell flips independently with its Néel–Brown probability;
+        ``deltas`` supplies per-device thermal stability realizations
+        (from :class:`~repro.devices.variability.DeviceVariability`),
+        whose low tail produces the realistic early failures.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("age_binary_weights expects ±1 weights")
+        if deltas is None:
+            deltas = np.full(weights.shape, 40.0)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        p_flip = 1.0 - np.exp(-time_seconds / (tau_0 * np.exp(deltas)))
+        flips = self.rng.random(weights.shape) < p_flip
+        out = weights.copy()
+        out[flips] = -out[flips]
+        return out
+
+    def fault_statistics(self, fault_map: np.ndarray) -> dict:
+        """Summarize a fault map (counts per class and overall rate)."""
+        total = fault_map.size
+        return {
+            "stuck_at_p": int((fault_map == FAULT_STUCK_P).sum()),
+            "stuck_at_ap": int((fault_map == FAULT_STUCK_AP).sum()),
+            "write_failure": int((fault_map == FAULT_WRITE).sum()),
+            "retention_failure": int((fault_map == FAULT_RETENTION).sum()),
+            "fault_rate": float((fault_map != FAULT_NONE).sum() / total),
+        }

@@ -1,0 +1,207 @@
+"""Magnetic tunnel junction (MTJ) behavioural model.
+
+The MTJ is the fundamental device of the paper (Sec. II-A): two
+ferromagnetic layers separated by a tunnel barrier, with the relative
+magnetization — Parallel (P, low resistance) or Anti-Parallel (AP,
+high resistance) — storing one bit.  Two switching mechanisms exist:
+Spin-Transfer Torque (STT, two-terminal) and Spin-Orbit Torque (SOT,
+three-terminal with segregated read/write paths).
+
+For the reproduction, the algorithms consume two device behaviours:
+
+1. **Deterministic storage** — binary weights live in P/AP states with
+   manufacturing variability on the conductances (handled in
+   :mod:`repro.devices.variability`).
+2. **Stochastic switching** — given a sub-critical write current pulse
+   the device switches only with probability
+
+   .. math::
+      P_{sw}(I, t) = 1 - \\exp\\!\\big(-\\tfrac{t}{\\tau_0}
+      \\exp(-\\Delta (1 - I/I_{c0}))\\big)
+
+   the standard Néel–Brown / thermal-activation form used by the
+   all-spin BayNN literature the paper builds on (refs [14, 15, 18]).
+   This is the physical entropy source behind every SpinDrop /
+   Scale-Drop / Arbiter RNG in the project.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Optional
+
+import numpy as np
+
+
+class MTJState(enum.IntEnum):
+    """Stable states of the free layer (also the stored bit)."""
+
+    PARALLEL = 0        # low resistance  -> logic 0 / weight -1 by convention
+    ANTI_PARALLEL = 1   # high resistance -> logic 1 / weight +1
+
+
+class SwitchingType(enum.Enum):
+    """Write mechanism; affects energy constants and terminal count."""
+
+    STT = "stt"
+    SOT = "sot"
+
+
+@dataclasses.dataclass(frozen=True)
+class MTJParams:
+    """Nominal device parameters.
+
+    Defaults are representative perpendicular-MTJ values from the
+    SOT/STT-MRAM literature (R_P a few kΩ, TMR ~150 %, Δ ~40 kT,
+    critical current tens of µA, ns-scale attempt time).
+    """
+
+    r_p: float = 5e3                 # parallel resistance [ohm]
+    tmr: float = 1.5                 # (R_AP - R_P) / R_P
+    delta: float = 40.0              # thermal stability factor [kT]
+    i_c0: float = 40e-6              # critical switching current [A]
+    tau_0: float = 1e-9              # attempt time [s]
+    pulse_width: float = 10e-9       # default write pulse width [s]
+    read_voltage: float = 0.1        # read voltage [V]
+    switching_type: SwitchingType = SwitchingType.SOT
+
+    @property
+    def r_ap(self) -> float:
+        """Anti-parallel resistance [ohm]."""
+        return self.r_p * (1.0 + self.tmr)
+
+    @property
+    def g_p(self) -> float:
+        """Parallel conductance [S]."""
+        return 1.0 / self.r_p
+
+    @property
+    def g_ap(self) -> float:
+        """Anti-parallel conductance [S]."""
+        return 1.0 / self.r_ap
+
+
+def switching_probability(current: float | np.ndarray,
+                          params: MTJParams,
+                          pulse_width: Optional[float] = None,
+                          delta: Optional[float | np.ndarray] = None
+                          ) -> float | np.ndarray:
+    """Probability the MTJ switches under a current pulse.
+
+    Thermal-activation (Néel–Brown) model; monotonically increasing in
+    both current and pulse width, saturating at 1 past the critical
+    current.  Vectorized over ``current`` and ``delta`` so a whole
+    bank of dropout modules can be evaluated at once.
+    """
+    t = params.pulse_width if pulse_width is None else pulse_width
+    d = params.delta if delta is None else delta
+    ratio = np.asarray(current, dtype=np.float64) / params.i_c0
+    exponent = -d * (1.0 - np.minimum(ratio, 1.0))
+    rate = (t / params.tau_0) * np.exp(exponent)
+    prob = 1.0 - np.exp(-rate)
+    return prob if isinstance(prob, np.ndarray) and prob.ndim else float(prob)
+
+
+def current_for_probability(p_target: float, params: MTJParams,
+                            pulse_width: Optional[float] = None,
+                            delta: Optional[float] = None) -> float:
+    """Invert :func:`switching_probability` for the write current.
+
+    This is how a SpinDrop module is *programmed*: pick the CMOS-
+    controlled current that makes the MTJ switch with the desired
+    dropout probability (Sec. III-A.1: "To enable control over the
+    current and, consequently, the probability of the MTJ, CMOS
+    transistors were integrated with the MTJ").
+    """
+    if not 0.0 < p_target < 1.0:
+        raise ValueError("target probability must be in (0, 1)")
+    t = params.pulse_width if pulse_width is None else pulse_width
+    d = params.delta if delta is None else delta
+    # p = 1 - exp(-(t/tau0) e^{-d (1 - i)})  =>  solve for i = I/Ic0.
+    rate = -math.log(1.0 - p_target)
+    inner = rate * params.tau_0 / t
+    i_ratio = 1.0 + math.log(inner) / d
+    return i_ratio * params.i_c0
+
+
+class MTJ:
+    """A single stateful MTJ device.
+
+    Tracks the free-layer state, applies stochastic switching on
+    writes, and exposes resistance reads with optional thermal read
+    noise.  Operation counts (set/reset/read) are recorded so the
+    energy model can price a simulation run.
+    """
+
+    def __init__(self, params: Optional[MTJParams] = None,
+                 state: MTJState = MTJState.PARALLEL,
+                 rng: Optional[np.random.Generator] = None,
+                 delta: Optional[float] = None,
+                 r_p: Optional[float] = None):
+        self.params = params or MTJParams()
+        self.state = state
+        self.rng = rng or np.random.default_rng()
+        # Per-device realizations (variability may perturb them).
+        self.delta = self.params.delta if delta is None else delta
+        self.r_p = self.params.r_p if r_p is None else r_p
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def resistance(self) -> float:
+        """Current resistance given the free-layer state."""
+        if self.state == MTJState.PARALLEL:
+            return self.r_p
+        return self.r_p * (1.0 + self.params.tmr)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def read(self, noise_sigma: float = 0.0) -> float:
+        """Read the resistance (optionally with multiplicative noise)."""
+        self.reads += 1
+        r = self.resistance
+        if noise_sigma > 0.0:
+            r *= 1.0 + self.rng.normal(0.0, noise_sigma)
+        return r
+
+    def write(self, target: MTJState, current: Optional[float] = None,
+              pulse_width: Optional[float] = None) -> bool:
+        """Attempt to switch toward ``target``; returns True on switch.
+
+        With ``current=None`` the write is deterministic (a full-
+        strength pulse, probability ≈ 1) — the normal weight-
+        programming mode.  With a sub-critical ``current`` the switch
+        is stochastic per the thermal-activation law — the RNG mode.
+        """
+        self.writes += 1
+        if self.state == target:
+            return True
+        if current is None:
+            self.state = target
+            return True
+        p = switching_probability(current, self.params,
+                                  pulse_width=pulse_width, delta=self.delta)
+        if self.rng.random() < p:
+            self.state = target
+            return True
+        return False
+
+    def set_stochastic(self, probability: float) -> bool:
+        """One SET attempt tuned to the given switching probability.
+
+        Uses the per-device ``delta`` realization, so manufacturing
+        variability shifts the *effective* probability away from the
+        programmed one — the behaviour SpinScaleDrop explicitly models
+        with a Gaussian-fitted dropout rate (Sec. III-A.3).
+        """
+        current = current_for_probability(probability, self.params)
+        return self.write(MTJState.ANTI_PARALLEL, current=current)
+
+    def reset(self) -> None:
+        """Deterministic RESET to the P state (full-strength pulse)."""
+        self.writes += 1
+        self.state = MTJState.PARALLEL

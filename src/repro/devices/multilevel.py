@@ -1,0 +1,111 @@
+"""Multi-level cells composed of parallel MTJs.
+
+Sec. II-A: "SOT-MRAM ... allows also for the integration of multiple
+MTJs on the same layer, simulating a multi-value cell", and
+Sec. III-B: "a multi-level device composed of multiple MTJs is
+implemented to quantitatively represent Bayesian parameters" /
+"novel MTJ-based multi-value cells for quantized weight storage".
+
+A cell of ``n_mtjs`` parallel junctions exposes ``n_mtjs + 1``
+conductance levels: with ``k`` junctions in the P state the total
+conductance is ``k·g_p + (n−k)·g_ap``.  Levels are equally spaced in
+conductance, which is exactly what uniform post-training quantization
+of a bounded parameter needs (SpinBayes quantization, Sec. III-B.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.mtj import MTJParams
+from repro.devices.variability import DeviceVariability
+
+
+class MultiLevelCell:
+    """A bank of multi-level cells backed by parallel MTJs.
+
+    Vectorized: one instance models an entire crossbar's worth of
+    cells (``shape``), each storing an integer level in
+    ``[0, n_mtjs]``.
+    """
+
+    def __init__(self, shape: tuple, n_mtjs: int = 4,
+                 mtj_params: Optional[MTJParams] = None,
+                 variability: Optional[DeviceVariability] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if n_mtjs < 1:
+            raise ValueError("need at least one MTJ per cell")
+        self.shape = tuple(shape)
+        self.n_mtjs = n_mtjs
+        self.params = mtj_params or MTJParams()
+        self.variability = variability
+        self.rng = rng or np.random.default_rng()
+        self.levels = np.zeros(self.shape, dtype=np.int64)
+        # Per-cell per-junction conductance realizations.
+        g_p, g_ap = self.params.g_p, self.params.g_ap
+        junction_shape = self.shape + (n_mtjs,)
+        if variability is not None:
+            r_p = variability.sample_resistances(self.params.r_p, junction_shape)
+            self._g_p = 1.0 / r_p
+            self._g_ap = 1.0 / (r_p * (1.0 + self.params.tmr))
+        else:
+            self._g_p = np.full(junction_shape, g_p)
+            self._g_ap = np.full(junction_shape, g_ap)
+        self.writes = 0
+        self.reads = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return self.n_mtjs + 1
+
+    def program(self, levels: np.ndarray) -> None:
+        """Program integer levels (junctions written deterministically)."""
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.shape != self.shape:
+            raise ValueError(f"level shape {levels.shape} != cell shape {self.shape}")
+        if levels.min() < 0 or levels.max() > self.n_mtjs:
+            raise ValueError(f"levels must be in [0, {self.n_mtjs}]")
+        self.levels = levels.copy()
+        self.writes += int(np.prod(self.shape)) * self.n_mtjs
+
+    def conductances(self, read_noise: bool = False) -> np.ndarray:
+        """Total cell conductance: k junctions P + (n−k) junctions AP."""
+        k = self.levels[..., None] > np.arange(self.n_mtjs)
+        g = np.where(k, self._g_p, self._g_ap).sum(axis=-1)
+        self.reads += int(np.prod(self.shape))
+        if read_noise and self.variability is not None:
+            g = self.variability.read_noise(g)
+        return g
+
+    # ------------------------------------------------------------------
+    def quantize_to_levels(self, values: np.ndarray,
+                           v_min: float, v_max: float) -> np.ndarray:
+        """Uniformly quantize real values into this cell's level grid."""
+        if v_max <= v_min:
+            raise ValueError("v_max must exceed v_min")
+        clipped = np.clip(values, v_min, v_max)
+        scaled = (clipped - v_min) / (v_max - v_min) * self.n_mtjs
+        return np.rint(scaled).astype(np.int64)
+
+    def levels_to_values(self, levels: np.ndarray,
+                         v_min: float, v_max: float) -> np.ndarray:
+        """Map integer levels back to the represented real values."""
+        return v_min + levels.astype(np.float64) / self.n_mtjs * (v_max - v_min)
+
+    def represented_values(self, v_min: float, v_max: float,
+                           read_noise: bool = False) -> np.ndarray:
+        """Decode stored values from *measured* conductances.
+
+        Converts each cell's analog conductance back to the value
+        scale, so device variability shows up as value error — the
+        quantity the SpinBayes quantization exploration trades against
+        bit precision.
+        """
+        g = self.conductances(read_noise=read_noise)
+        g_min = self._g_ap.sum(axis=-1)   # all junctions AP -> level 0
+        g_max = self._g_p.sum(axis=-1)    # all junctions P  -> level n
+        frac = (g - g_min) / np.maximum(g_max - g_min, 1e-18)
+        return v_min + np.clip(frac, 0.0, 1.0) * (v_max - v_min)

@@ -1,0 +1,124 @@
+"""Manufacturing and in-field variability models.
+
+Paper Sec. II-D and key takeaway #4: "Non-idealities like
+manufacturing variations and defects, as well as stochastic behavior
+of spintronic memories add layers of difficulties" — the reproduction
+models them as:
+
+* **Resistance spread** — lognormal multiplicative variation on the
+  P-state resistance (device-to-device), plus a smaller cycle-to-cycle
+  read fluctuation.
+* **Thermal-stability spread** — normal variation on Δ, which shifts
+  every stochastic-switching probability and therefore every dropout
+  rate derived from an MTJ.
+* **In-field drift** — a temperature coefficient scaling Δ and
+  resistance, letting experiments sweep operating temperature.
+
+All entry points are vectorized: they take/return numpy arrays so a
+whole crossbar or RNG bank is perturbed in one call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.mtj import MTJParams
+
+
+@dataclasses.dataclass(frozen=True)
+class VariabilityParams:
+    """Spread magnitudes (all relative / dimensionless).
+
+    ``sigma_r``: lognormal sigma of device-to-device resistance.
+    ``sigma_delta``: relative std-dev of the thermal stability factor.
+    ``sigma_read``: multiplicative cycle-to-cycle read noise.
+    ``temp_coeff_delta``: fractional Δ change per kelvin away from 300 K
+    (Δ drops as temperature rises — switching gets more stochastic).
+    """
+
+    sigma_r: float = 0.05
+    sigma_delta: float = 0.05
+    sigma_read: float = 0.01
+    temp_coeff_delta: float = -0.002
+    reference_temp: float = 300.0
+
+
+class DeviceVariability:
+    """Sampler for per-device parameter realizations."""
+
+    def __init__(self, params: Optional[VariabilityParams] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 temperature: float = 300.0):
+        self.params = params or VariabilityParams()
+        self.rng = rng or np.random.default_rng()
+        self.temperature = temperature
+
+    # ------------------------------------------------------------------
+    def _temp_factor(self) -> float:
+        dt = self.temperature - self.params.reference_temp
+        return max(1.0 + self.params.temp_coeff_delta * dt, 0.1)
+
+    def sample_resistances(self, nominal_r: float, shape: tuple) -> np.ndarray:
+        """Device-to-device P-state resistances (lognormal around nominal)."""
+        if self.params.sigma_r <= 0.0:
+            return np.full(shape, nominal_r)
+        return nominal_r * self.rng.lognormal(
+            mean=0.0, sigma=self.params.sigma_r, size=shape)
+
+    def sample_deltas(self, nominal_delta: float, shape: tuple) -> np.ndarray:
+        """Per-device thermal stability factors, temperature-adjusted."""
+        base = nominal_delta * self._temp_factor()
+        if self.params.sigma_delta <= 0.0:
+            return np.full(shape, base)
+        deltas = self.rng.normal(base, self.params.sigma_delta * base, size=shape)
+        return np.maximum(deltas, 1.0)
+
+    def perturb_conductances(self, conductances: np.ndarray) -> np.ndarray:
+        """Apply device-to-device spread to a programmed conductance matrix.
+
+        Used when deploying weights to a crossbar: the programmed G
+        values land on real devices whose resistance differs from
+        nominal.
+        """
+        if self.params.sigma_r <= 0.0:
+            return conductances.copy()
+        spread = self.rng.lognormal(
+            mean=0.0, sigma=self.params.sigma_r, size=conductances.shape)
+        # Resistance is lognormal, conductance is its reciprocal —
+        # reciprocal of lognormal is lognormal with negated mean.
+        return conductances / spread
+
+    def read_noise(self, values: np.ndarray) -> np.ndarray:
+        """Cycle-to-cycle multiplicative read fluctuation."""
+        if self.params.sigma_read <= 0.0:
+            return values
+        noise = self.rng.normal(1.0, self.params.sigma_read, size=values.shape)
+        return values * noise
+
+
+def effective_dropout_probabilities(
+        target_p: float, mtj_params: MTJParams,
+        variability: DeviceVariability, n_modules: int) -> np.ndarray:
+    """Per-module realized dropout probabilities for a bank of RNG modules.
+
+    Programs every module's write current for ``target_p`` using the
+    *nominal* Δ, then evaluates the switching law at each module's
+    *actual* Δ realization.  The returned spread is what SpinScaleDrop
+    fits with a Gaussian ("the dropout probability is defined as a
+    stochastic variable, and ... fitted to a Gaussian distribution",
+    Sec. III-A.3).
+    """
+    from repro.devices.mtj import current_for_probability, switching_probability
+
+    current = current_for_probability(target_p, mtj_params)
+    deltas = variability.sample_deltas(mtj_params.delta, (n_modules,))
+    return np.asarray(switching_probability(current, mtj_params, delta=deltas))
+
+
+def fit_gaussian(probabilities: np.ndarray) -> tuple[float, float]:
+    """Gaussian (mu, sigma) fit of realized dropout probabilities."""
+    probs = np.asarray(probabilities, dtype=np.float64)
+    return float(probs.mean()), float(probs.std())

@@ -1,0 +1,53 @@
+"""Energy, latency and storage accounting for CIM deployments."""
+
+from repro.energy.params import (
+    DEFAULT_ENERGY,
+    DEFAULT_LATENCY,
+    EnergyParams,
+    LatencyParams,
+)
+from repro.energy.model import (
+    LayerSpec,
+    NetworkSpec,
+    dropout_subsystem_energy,
+    forward_pass_ledger,
+    lenet_like,
+    method_energy_per_image,
+    method_extra_ops,
+    method_rng_bits,
+    mlp_spec,
+    price_ledger,
+    storage_bits,
+)
+from repro.energy.latency import (
+    AreaModel,
+    LatencyModel,
+    method_area,
+    method_latency_per_image,
+)
+from repro.energy.report import format_energy, render_breakdown, render_table
+
+__all__ = [
+    "EnergyParams",
+    "LatencyParams",
+    "DEFAULT_ENERGY",
+    "DEFAULT_LATENCY",
+    "LayerSpec",
+    "NetworkSpec",
+    "lenet_like",
+    "mlp_spec",
+    "forward_pass_ledger",
+    "method_rng_bits",
+    "method_extra_ops",
+    "method_energy_per_image",
+    "dropout_subsystem_energy",
+    "storage_bits",
+    "price_ledger",
+    "LatencyModel",
+    "AreaModel",
+    "method_latency_per_image",
+    "method_area",
+    "format_energy",
+    "render_table",
+    "render_breakdown",
+]

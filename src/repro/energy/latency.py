@@ -1,0 +1,154 @@
+"""Latency and area models for CIM deployments.
+
+Complements the energy model: the paper's pitch is joint energy /
+latency / footprint efficiency ("lower energy consumption and
+switching speed", key takeaway #3; "greatly reduce hardware
+footprint", conclusion).  Like the energy model, everything here is
+op-count × per-op constant.
+
+Latency model
+-------------
+A Monte-Carlo Bayesian inference is ``T`` sequential passes.  Within a
+pass, crossbars of one layer fire in parallel but layers are
+sequential, ADC conversions are time-multiplexed ``adc_share`` columns
+per converter, and RNG masks must be generated before the layer fires
+(dropout-module re-use rounds × cycle latency — the "sampling latency"
+cost of Sec. II-D).
+
+Area model
+----------
+Per-component silicon estimates: crossbar cells, ADCs, sense amps,
+dropout modules, SRAM.  Used for the footprint comparisons between
+methods (e.g. SpinDrop's per-neuron modules vs Scale-Drop's one per
+layer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Tuple
+
+from repro.energy.model import (
+    LayerSpec,
+    NetworkSpec,
+    method_rng_bits,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyModel:
+    """Per-operation latencies in seconds."""
+
+    crossbar_read: float = 10e-9      # full-array MVM settle + sample
+    adc_conversion: float = 5e-9      # per column conversion
+    rng_cycle: float = 25e-9          # SET pulse + SA read + RESET pulse
+    digital_pipeline: float = 2e-9    # norm/scale/sign per layer (pipelined)
+    adc_share: int = 8                # columns time-multiplexed per ADC
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaModel:
+    """Per-component areas in µm² (28 nm-class estimates)."""
+
+    crossbar_cell: float = 0.05       # 1T-1MTJ pair
+    adc: float = 500.0                # 6-bit SAR
+    sense_amp: float = 5.0
+    dropout_module: float = 10.0      # MTJ + CMOS control + SA
+    sram_bit: float = 0.3
+    arbiter_stage: float = 12.0
+
+
+def layer_latency(layer: LayerSpec, rng_bits: int,
+                  n_modules: int, model: LatencyModel) -> float:
+    """Latency of one layer's contribution to one MC pass.
+
+    RNG generation (re-using ``n_modules`` physical modules), then the
+    MVM (one crossbar read per spatial position), then the multiplexed
+    ADC sweep; the digital periphery pipelines behind the ADC.
+    """
+    rng_rounds = math.ceil(rng_bits / max(n_modules, 1)) if rng_bits else 0
+    t_rng = rng_rounds * model.rng_cycle
+    t_mvm = layer.out_positions * model.crossbar_read
+    conversions = layer.out_features * layer.out_positions
+    adcs = max(1, layer.out_features // model.adc_share)
+    t_adc = conversions / adcs * model.adc_conversion
+    return t_rng + t_mvm + t_adc + model.digital_pipeline
+
+
+def method_latency_per_image(spec: NetworkSpec, method: str,
+                             n_mc_passes: int = 25,
+                             model: LatencyModel = LatencyModel(),
+                             spinbayes_components: int = 8
+                             ) -> Tuple[float, Dict[str, float]]:
+    """Seconds per image for a method, with a per-layer breakdown."""
+    per_layer_bits = _rng_bits_per_layer(spec, method, spinbayes_components)
+    passes = 1 if method == "deterministic" else n_mc_passes
+    breakdown: Dict[str, float] = {}
+    total = 0.0
+    for i, layer in enumerate(spec.layers):
+        bits, modules = per_layer_bits[i]
+        t = layer_latency(layer, bits, modules, model)
+        breakdown[f"layer{i}"] = t * passes
+        total += t * passes
+    return total, breakdown
+
+
+def _rng_bits_per_layer(spec: NetworkSpec, method: str,
+                        spinbayes_components: int):
+    """(bits_per_pass, physical_modules) for each layer under a method."""
+    out = []
+    for layer in spec.layers:
+        if method == "deterministic":
+            out.append((0, 1))
+        elif method == "spindrop":
+            out.append((layer.neurons, layer.neurons))
+        elif method == "spatial":
+            out.append((layer.out_features, layer.out_features))
+        elif method == "scaledrop":
+            out.append((1, 1))
+        elif method == "affine":
+            out.append((2, 2))
+        elif method == "subset_vi":
+            out.append((layer.out_features, layer.out_features))
+        elif method == "spinbayes":
+            stages = max(1, math.ceil(math.log2(spinbayes_components)))
+            out.append((stages, stages))
+        elif method == "mc_dropconnect":
+            # One module per weight is unbuildable; hardware re-uses a
+            # per-neuron bank serially — the latency blow-up the paper
+            # cites ("the overall sampling latency can be long").
+            out.append((layer.weights, layer.neurons))
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    return out
+
+
+def method_area(spec: NetworkSpec, method: str,
+                model: AreaModel = AreaModel(),
+                adc_share: int = 8,
+                spinbayes_components: int = 8) -> Dict[str, float]:
+    """Component-wise silicon area (µm²) of a deployed method."""
+    cells = 2 * spec.total_weights      # complementary pairs
+    if method == "spinbayes":
+        cells = spinbayes_components * spec.total_weights * 2
+    adcs = sum(max(1, layer.out_features // adc_share)
+               for layer in spec.layers)
+    sense_amps = sum(layer.out_features for layer in spec.layers)
+    modules = method_rng_bits(spec, method) if method != "spinbayes" else (
+        len(spec.layers) * max(1, math.ceil(
+            math.log2(spinbayes_components))))
+    if method == "mc_dropconnect":
+        # Physical modules capped at one per neuron (serial re-use).
+        modules = spec.total_neurons
+    scale_bits = 32 * sum(layer.out_features for layer in spec.layers)
+    area = {
+        "crossbar": cells * model.crossbar_cell,
+        "adc": adcs * model.adc,
+        "sense_amps": sense_amps * model.sense_amp,
+        "dropout_modules": modules * model.dropout_module,
+        "scale_sram": scale_bits * model.sram_bit
+        if method in ("scaledrop", "subset_vi") else 0.0,
+    }
+    area["total"] = sum(area.values())
+    return area

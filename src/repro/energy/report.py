@@ -1,0 +1,44 @@
+"""Text rendering for energy/accuracy comparison tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_energy(joules: float) -> str:
+    """Human-readable energy with an appropriate SI prefix."""
+    if joules <= 0:
+        return "0 J"
+    for scale, unit in ((1e-3, "mJ"), (1e-6, "µJ"), (1e-9, "nJ"),
+                        (1e-12, "pJ"), (1e-15, "fJ")):
+        if joules >= scale:
+            return f"{joules / scale:.2f} {unit}"
+    return f"{joules:.2e} J"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Monospace table renderer (the benchmark harness output format)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows))
+              if str_rows else len(headers[i])
+              for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_breakdown(breakdown: Dict[str, float], title: str = "") -> str:
+    """Per-operation energy breakdown, largest first."""
+    total = sum(breakdown.values())
+    rows: List[List[str]] = []
+    for op, energy in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * energy / total if total else 0.0
+        rows.append([op, format_energy(energy), f"{share:5.1f} %"])
+    return render_table(["operation", "energy", "share"], rows, title=title)

@@ -1,0 +1,11 @@
+"""Experiment harnesses regenerating every table, figure and claim.
+
+One module per paper artifact: ``table1`` (Table I), ``figures``
+(Figs. 1–3), ``claims`` (the per-method text claims C1–C6),
+``ablations`` (design-choice ablations A1).  The mapping from paper
+artifact to module is indexed in DESIGN.md §3.
+"""
+
+from repro.experiments import ablations, claims, common, extended, figures, table1
+
+__all__ = ["common", "table1", "figures", "claims", "ablations", "extended"]

@@ -1,0 +1,136 @@
+"""Shared experiment harness: data, training loops, evaluation.
+
+Every benchmark (Table I, Fig. 1–3, claims C1–C6, ablations A1) goes
+through these helpers so that methods are compared under identical
+data, training budget and Monte-Carlo settings.
+
+Two presets exist: ``fast=True`` (benchmark-friendly: ~1 minute per
+method on a laptop CPU) and ``fast=False`` (the settings used for the
+EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian import elbo_loss, scale_parameters
+from repro.data import batches, synth_digits, train_test_split
+from repro.tensor import Tensor
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """Training budget shared across methods in one experiment."""
+
+    epochs: int = 25
+    lr: float = 1e-2
+    batch_size: int = 64
+    mc_samples: int = 20
+    seed: int = 0
+
+    @classmethod
+    def preset(cls, fast: bool) -> "TrainConfig":
+        if fast:
+            return cls(epochs=8, lr=1e-2, batch_size=64, mc_samples=8)
+        return cls(epochs=25, lr=1e-2, batch_size=64, mc_samples=20)
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A train/test split plus metadata."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+    image_size: int
+
+    @property
+    def n_features(self) -> int:
+        return self.image_size * self.image_size
+
+
+_DATA_CACHE: Dict[tuple, Dataset] = {}
+
+
+def digits_dataset(n_samples: int = 4000, jitter: float = 0.6,
+                   seed: int = 0, flat: bool = True,
+                   size: int = 16) -> Dataset:
+    """The standard SynthDigits split (cached per configuration)."""
+    key = (n_samples, jitter, seed, flat, size)
+    if key not in _DATA_CACHE:
+        x, y = synth_digits(n_samples, size=size, jitter=jitter,
+                            seed=seed, flat=flat)
+        (xtr, ytr), (xte, yte) = train_test_split(x, y, 0.2, seed=seed + 1)
+        _DATA_CACHE[key] = Dataset(xtr, ytr, xte, yte,
+                                   n_classes=10, image_size=size)
+    return _DATA_CACHE[key]
+
+
+def train_classifier(model: nn.Module, data: Dataset,
+                     config: TrainConfig,
+                     loss_kind: str = "ce",
+                     scale_reg_strength: float = 0.0) -> nn.Module:
+    """Train a (possibly stochastic) classifier.
+
+    ``loss_kind``: "ce" for cross-entropy, "elbo" for the subset-VI
+    objective.  ``scale_reg_strength`` adds the SpinScaleDrop scale
+    regularizer when non-zero.
+    """
+    opt = nn.Adam(model.parameters(), lr=config.lr)
+    sched = nn.CosineLR(opt, config.epochs)
+    n_train = len(data.x_train)
+    for epoch in range(config.epochs):
+        model.train()
+        for xb, yb in batches(data.x_train, data.y_train,
+                              config.batch_size, seed=config.seed + epoch):
+            logits = model(Tensor(xb))
+            if loss_kind == "elbo":
+                loss = elbo_loss(model, logits, yb, n_train=n_train)
+            else:
+                loss = nn.cross_entropy(logits, yb)
+            if scale_reg_strength > 0.0:
+                scales = scale_parameters(model)
+                if scales:
+                    loss = loss + nn.scale_regularizer(
+                        scales, strength=scale_reg_strength)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            nn.clip_latent_weights(model)
+        sched.step()
+    model.eval()
+    return model
+
+
+def train_regressor(model: nn.Module, x_train: np.ndarray,
+                    y_train: np.ndarray, epochs: int = 30,
+                    lr: float = 5e-3, batch_size: int = 64,
+                    seed: int = 0) -> nn.Module:
+    """Train a sequence regressor with MSE."""
+    opt = nn.Adam(model.parameters(), lr=lr)
+    for epoch in range(epochs):
+        model.train()
+        for xb, yb in batches(x_train, y_train, batch_size,
+                              seed=seed + epoch):
+            pred = model(Tensor(xb))
+            loss = nn.mse(pred, yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    model.eval()
+    return model
+
+
+def mc_accuracy(result, labels: np.ndarray) -> float:
+    """Accuracy of a :class:`PredictiveResult` against labels."""
+    return float((result.predictions == np.asarray(labels)).mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    return float(np.sqrt(np.mean((np.asarray(pred) - np.asarray(target)) ** 2)))

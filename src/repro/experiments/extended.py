@@ -1,0 +1,176 @@
+"""Extended experiments: the §III-B.2 evaluation scopes.
+
+The SpinBayes section evaluates on "classification tasks with up to
+100 classes and semantic segmentation tasks".  These harnesses
+regenerate both scopes on the synthetic substitutes:
+
+* :func:`run_seg_experiment` — Bayesian encoder–decoder on the scene
+  dataset: mIoU, pixel accuracy, per-pixel uncertainty, and behaviour
+  on scenes containing unknown (OOD) objects.
+* :func:`run_100class_experiment` — subset-VI MLP + SpinBayes
+  deployment on the 100-class paired-glyph task.
+* :func:`latency_area_table` — the latency/area companion to Table I
+  (key takeaway #3: energy *and switching speed*; conclusion:
+  "greatly reduce hardware footprint").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro import nn
+from repro.bayesian import (
+    SpinBayesNetwork,
+    make_bayesian_segmenter,
+    make_subset_vi_mlp,
+    mc_predict,
+    mc_predict_fn,
+    mc_segment,
+    pixel_maps,
+    segmentation_loss,
+)
+from repro.cim import CimConfig
+from repro.data import (
+    N_SEG_CLASSES,
+    batches,
+    segmentation_scenes,
+    synth_pairs,
+    train_test_split,
+)
+from repro.energy import (
+    lenet_like,
+    method_area,
+    method_latency_per_image,
+)
+from repro.experiments.common import TrainConfig, mc_accuracy
+from repro.tensor import Tensor
+from repro.uncertainty import mean_iou
+
+
+# ----------------------------------------------------------------------
+# Semantic segmentation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SegmentationResult:
+    miou: float
+    pixel_accuracy: float
+    object_accuracy_id: float       # object pixels, known classes
+    object_accuracy_ood: float      # object pixels, unknown objects
+    object_entropy_id: float
+    object_entropy_ood: float
+
+
+def run_seg_experiment(fast: bool = True, seed: int = 0
+                       ) -> SegmentationResult:
+    """Train the Bayesian segmenter; evaluate ID and OOD scenes."""
+    n_train = 400 if fast else 1500
+    epochs = 6 if fast else 25
+    mc_samples = 8 if fast else 20
+    x_train, m_train = segmentation_scenes(n_train, seed=seed)
+    x_test, m_test = segmentation_scenes(150 if fast else 400,
+                                         seed=seed + 1)
+    x_ood, m_ood = segmentation_scenes(150 if fast else 400,
+                                       seed=seed + 2, ood_objects=True)
+
+    model = make_bayesian_segmenter(width=8, p=0.15, seed=seed)
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    sched = nn.CosineLR(opt, epochs)
+    for epoch in range(epochs):
+        model.train()
+        for xb, yb in batches(x_train, m_train, 32, seed=epoch):
+            loss = segmentation_loss(model(Tensor(xb)), yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            nn.clip_latent_weights(model)
+        sched.step()
+
+    shape = (len(x_test), x_test.shape[2], x_test.shape[3])
+    result = mc_segment(model, x_test, n_samples=mc_samples)
+    pred, entropy = pixel_maps(result, shape)
+    ood_shape = (len(x_ood), x_ood.shape[2], x_ood.shape[3])
+    ood_result = mc_segment(model, x_ood, n_samples=mc_samples)
+    ood_pred, ood_entropy = pixel_maps(ood_result, ood_shape)
+
+    id_obj = m_test > 0
+    ood_obj = m_ood > 0
+    return SegmentationResult(
+        miou=mean_iou(pred, m_test, N_SEG_CLASSES),
+        pixel_accuracy=float((pred == m_test).mean()),
+        object_accuracy_id=float((pred[id_obj] == m_test[id_obj]).mean()),
+        object_accuracy_ood=float(
+            (ood_pred[ood_obj] == m_ood[ood_obj]).mean()),
+        object_entropy_id=float(entropy[id_obj].mean()),
+        object_entropy_ood=float(ood_entropy[ood_obj].mean()),
+    )
+
+
+# ----------------------------------------------------------------------
+# 100-class classification
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class HundredClassResult:
+    teacher_accuracy: float
+    spinbayes_accuracy: float
+    top5_accuracy: float
+    n_classes_seen: int
+
+
+def run_100class_experiment(fast: bool = True, seed: int = 0
+                            ) -> HundredClassResult:
+    """Subset-VI on 100 classes, then SpinBayes deployment."""
+    n = 4000 if fast else 10000
+    x, y = synth_pairs(n, jitter=0.4, seed=seed)
+    (xtr, ytr), (xte, yte) = train_test_split(x, y, 0.2, seed=seed + 1)
+    config = TrainConfig(epochs=10 if fast else 30, lr=1e-2,
+                         mc_samples=8 if fast else 20, seed=seed)
+
+    model = make_subset_vi_mlp(x.shape[1], (256,) if fast else (512, 256),
+                               100, seed=seed)
+    from repro.experiments.common import Dataset, train_classifier
+    data = Dataset(xtr, ytr, xte, yte, n_classes=100, image_size=16)
+    train_classifier(model, data, config, loss_kind="elbo")
+
+    teacher_result = mc_predict(model, xte, n_samples=config.mc_samples)
+    teacher_acc = mc_accuracy(teacher_result, yte)
+
+    net = SpinBayesNetwork.from_subset_vi(
+        model, n_components=8, n_levels=16,
+        config=CimConfig(seed=seed + 2), seed=seed + 2)
+    n_eval = 400 if fast else 1000
+    result = mc_predict_fn(net.forward, xte[:n_eval],
+                           n_samples=config.mc_samples)
+    spin_acc = mc_accuracy(result, yte[:n_eval])
+    top5 = np.argsort(-result.probs, axis=1)[:, :5]
+    top5_acc = float(np.any(top5 == yte[:n_eval, None], axis=1).mean())
+
+    return HundredClassResult(
+        teacher_accuracy=teacher_acc,
+        spinbayes_accuracy=spin_acc,
+        top5_accuracy=top5_acc,
+        n_classes_seen=int(len(np.unique(ytr))),
+    )
+
+
+# ----------------------------------------------------------------------
+# Latency / area companion table
+# ----------------------------------------------------------------------
+def latency_area_table(methods=("deterministic", "spindrop", "spatial",
+                                "scaledrop", "subset_vi", "spinbayes",
+                                "mc_dropconnect")) -> List[Dict]:
+    """Per-method latency and silicon area on the Table-I spec."""
+    spec = lenet_like()
+    rows = []
+    for method in methods:
+        latency, _ = method_latency_per_image(spec, method)
+        area = method_area(spec, method)
+        rows.append({
+            "method": method,
+            "latency_us": latency * 1e6,
+            "area_mm2": area["total"] / 1e6,
+            "module_area_um2": area["dropout_modules"],
+        })
+    return rows

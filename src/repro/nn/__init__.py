@@ -1,0 +1,65 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Deterministic layers, binary (±1) layers for spintronic deployment,
+inverted normalization, recurrent cells, losses with the NeuSpin
+regularizers, and optimizers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    HardTanh,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    SignActivation,
+    Tanh,
+)
+from repro.nn.binary import BinaryConv2d, BinaryLinear, clip_latent_weights
+from repro.nn.normalization import InvertedNorm
+from repro.nn.recurrent import GRUCell, RNNCell, SequenceRegressor
+from repro.nn import losses, optim
+from repro.nn.losses import accuracy, cross_entropy, gaussian_kl, mse, scale_regularizer
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Tanh",
+    "HardTanh",
+    "SignActivation",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "BinaryLinear",
+    "BinaryConv2d",
+    "clip_latent_weights",
+    "InvertedNorm",
+    "RNNCell",
+    "GRUCell",
+    "SequenceRegressor",
+    "losses",
+    "optim",
+    "cross_entropy",
+    "mse",
+    "accuracy",
+    "scale_regularizer",
+    "gaussian_kl",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+]

@@ -1,0 +1,236 @@
+"""Standard layers: linear, convolution, normalization, pooling, dropout.
+
+These are the deterministic building blocks; the Bayesian/stochastic
+layers live in :mod:`repro.bayesian`, and the binary (±1) variants used
+for spintronic deployment live in :mod:`repro.nn.binary`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+from repro.nn.module import Module, Parameter
+
+
+def _kaiming_uniform(fan_in: int, shape: tuple,
+                     rng: np.random.Generator) -> np.ndarray:
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with Kaiming-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            _kaiming_uniform(in_features, (out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, F.transpose(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(_kaiming_uniform(
+            fan_in, (out_channels, in_channels, kernel_size, kernel_size), rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+
+class _BatchNormBase(Module):
+    """Shared machinery for 1-D/2-D batch normalization."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.gamma = Parameter(np.ones(num_features))
+            self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _axes(self, x: Tensor) -> tuple:
+        raise NotImplementedError
+
+    def _shape(self, x: Tensor) -> tuple:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._axes(x)
+        shape = self._shape(x)
+        if self.training:
+            mu = F.mean(x, axis=axes, keepdims=True)
+            centered = x - mu
+            variance = F.mean(centered * centered, axis=axes, keepdims=True)
+            m = self.momentum
+            self.update_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mu.data.reshape(-1))
+            self.update_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * variance.data.reshape(-1))
+            x_hat = centered / F.sqrt(variance, eps=self.eps)
+        else:
+            mu = Tensor(self.running_mean.reshape(shape))
+            variance = Tensor(self.running_var.reshape(shape))
+            x_hat = (x - mu) / F.sqrt(variance, eps=self.eps)
+        if self.affine:
+            gamma = F.reshape(self.gamma, shape)
+            beta = F.reshape(self.beta, shape)
+            return x_hat * gamma + beta
+        return x_hat
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalization over (N, F) activations."""
+
+    def _axes(self, x: Tensor) -> tuple:
+        return (0,)
+
+    def _shape(self, x: Tensor) -> tuple:
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalization over (N, C, H, W) activations."""
+
+    def _axes(self, x: Tensor) -> tuple:
+        return (0, 2, 3)
+
+    def _shape(self, x: Tensor) -> tuple:
+        return (1, self.num_features, 1, 1)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class HardTanh(Module):
+    """Hard-tanh activation — the standard pre-binarization activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardtanh(x)
+
+
+class SignActivation(Module):
+    """Binarizing activation: ±1 forward, straight-through backward.
+
+    The activation of XNOR-style binary networks; deployment maps it to
+    a sense-amplifier readout (:class:`repro.cim.layers.DigitalSign`),
+    so train-time and deployed activations match bit-for-bit.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sign_ste(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.reshape(x, (x.shape[0], -1))
+
+
+class Dropout(Module):
+    """Conventional inverted dropout with an ideal (software) RNG.
+
+    This is the CMOS baseline the paper's spintronic dropout modules
+    replace; :class:`repro.bayesian.SpinDropout` has identical
+    semantics but draws its mask bits from the MTJ device model.
+    """
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+        self.always_on = False  # set True for MC-dropout at inference
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.p == 0.0 or not (self.training or self.always_on):
+            return x
+        keep = 1.0 - self.p
+        mask = self.rng.random(x.shape) < keep
+        return x * Tensor(mask / keep)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,148 @@
+"""``Module``/``Parameter`` system (a compact nn.Module analogue).
+
+Modules register parameters and sub-modules automatically via
+``__setattr__``, expose recursive iteration, train/eval mode, and
+state-dict (de)serialization to ``.npz``.  Every NeuSpin method in
+:mod:`repro.bayesian` and every CIM-deployed layer in :mod:`repro.cim`
+builds on this.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances
+    as attributes; they are picked up automatically for optimization,
+    mode switching, and serialization.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. batch-norm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix + mod_name + ".")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state["buffer::" + name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer::"):
+                self._load_buffer(name[len("buffer::"):], value)
+            else:
+                if name not in params:
+                    raise KeyError(f"unexpected parameter {name!r}")
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{params[name].data.shape} vs {value.shape}")
+                params[name].data = value.copy()
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module.update_buffer(parts[-1], value.copy())
+
+    def save(self, path: str) -> None:
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        with np.load(path) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files})
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,107 @@
+"""Inverted normalization (Sec. III-A.4).
+
+Traditional batch/layer norm normalizes first and then applies an
+optional affine transform.  The NeuSpin "inverted normalization" layer
+flips the order: the affine transform (``gamma * x + beta``, with the
+affine parameters trained like ordinary weights) is applied *before*
+normalization.  Applied to CIM, the affine stage absorbs the
+conductance-variation-induced shift/scale of the crossbar output
+before statistics are computed, which is what gives the layer its
+self-healing behaviour; the companion Affine Dropout (in
+:mod:`repro.bayesian.affine`) makes the affine parameters stochastic
+to turn the layer into a Bayesian approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+from repro.nn.module import Module, Parameter
+
+
+class InvertedNorm(Module):
+    """Affine-then-normalize layer for (N, F) or (N, C, H, W) inputs.
+
+    Parameters
+    ----------
+    num_features:
+        Feature (or channel) count the affine parameters span.
+    spatial:
+        ``True`` for NCHW inputs (per-channel statistics), ``False``
+        for flat (N, F) activations.
+    momentum, eps:
+        Running-statistics update rate and variance floor, as in
+        standard batch norm.
+    """
+
+    def __init__(self, num_features: int, spatial: bool = False,
+                 momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.spatial = spatial
+        self.momentum = momentum
+        self.eps = eps
+        # Affine parameters trained by gradient descent exactly like
+        # weights/biases (paper: "treats the affine parameters ... as
+        # similar to the weights and biases of the NN").
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        # Hook point for Affine Dropout: scalar multipliers applied to
+        # gamma/beta each forward pass.  ``None`` means deterministic.
+        self._gamma_mask: Optional[float] = None
+        self._beta_mask: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def set_affine_masks(self, gamma_mask: Optional[float],
+                         beta_mask: Optional[float]) -> None:
+        """Install scalar dropout masks for the next forward pass.
+
+        Affine Dropout semantics (Sec. III-A.4): a dropped *weight*
+        (gamma) is replaced by one and a dropped *bias* (beta) by zero,
+        i.e. ``gamma' = m_g * gamma + (1 - m_g)`` and
+        ``beta' = m_b * beta`` with scalar Bernoulli masks.
+        """
+        self._gamma_mask = gamma_mask
+        self._beta_mask = beta_mask
+
+    def _param_shape(self) -> Tuple[int, ...]:
+        return (1, self.num_features, 1, 1) if self.spatial else (1, self.num_features)
+
+    def _axes(self) -> Tuple[int, ...]:
+        return (0, 2, 3) if self.spatial else (0,)
+
+    def forward(self, x: Tensor) -> Tensor:
+        shape = self._param_shape()
+        gamma = F.reshape(self.gamma, shape)
+        beta = F.reshape(self.beta, shape)
+        if self._gamma_mask is not None:
+            # m=1 keeps gamma, m=0 replaces it with identity (one).
+            gamma = gamma * self._gamma_mask + (1.0 - self._gamma_mask)
+        if self._beta_mask is not None:
+            beta = beta * self._beta_mask
+
+        # Affine first (the "inverted" part) ...
+        transformed = x * gamma + beta
+
+        # ... then normalize the transformed activations.
+        axes = self._axes()
+        if self.training:
+            mu = F.mean(transformed, axis=axes, keepdims=True)
+            centered = transformed - mu
+            variance = F.mean(centered * centered, axis=axes, keepdims=True)
+            m = self.momentum
+            self.update_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mu.data.reshape(-1))
+            self.update_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * variance.data.reshape(-1))
+            return centered / F.sqrt(variance, eps=self.eps)
+        mu = Tensor(self.running_mean.reshape(shape))
+        variance = Tensor(self.running_var.reshape(shape))
+        return (transformed - mu) / F.sqrt(variance, eps=self.eps)

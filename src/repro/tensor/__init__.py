@@ -1,0 +1,74 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the training substrate for the whole reproduction: every
+NeuSpin method (SpinDrop, Spatial-SpinDrop, SpinScaleDrop, inverted
+normalization with affine dropout, Bayesian subset-parameter
+inference, SpinBayes) is a training objective plus stochastic layers,
+so a small but correct autograd engine is the first substrate to
+build.  The engine is deliberately minimal — dynamic graph, define-by-
+run, broadcasting-aware — and exposes the handful of primitives the
+paper's methods need, including a straight-through-estimator ``sign``
+for binary networks and sampling nodes for the Bayesian layers.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.functional import (
+    add,
+    avg_pool2d,
+    concat,
+    conv2d,
+    exp,
+    leaky_relu,
+    log,
+    log_softmax,
+    matmul,
+    max_pool2d,
+    maximum,
+    mean,
+    mul,
+    relu,
+    reshape,
+    sigmoid,
+    sign_ste,
+    softmax,
+    softmax_cross_entropy,
+    sqrt,
+    sum as sum_,
+    tanh,
+    transpose,
+    where,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "add",
+    "avg_pool2d",
+    "concat",
+    "conv2d",
+    "exp",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "matmul",
+    "max_pool2d",
+    "maximum",
+    "mean",
+    "mul",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "sign_ste",
+    "softmax",
+    "softmax_cross_entropy",
+    "sqrt",
+    "sum_",
+    "tanh",
+    "transpose",
+    "where",
+]

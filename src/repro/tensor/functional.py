@@ -1,0 +1,605 @@
+"""Differentiable primitive operations.
+
+Every function takes/returns :class:`repro.tensor.Tensor` and records
+a closure implementing the vector-Jacobian product.  Shapes follow
+numpy broadcasting; convolutions use NCHW layout via im2col so the
+heavy lifting stays inside BLAS matmuls.
+
+The one domain-specific primitive is :func:`sign_ste` — binarization
+with a straight-through estimator — which is the algorithmic core of
+the binary Bayesian networks in the NeuSpin paper (Sec. III-A: "the
+standard matrix-vector multiplications are replaced with XNOR
+operations", which requires ±1 weights trained with an STE).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor, _unbroadcast
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad)
+        if b.requires_grad:
+            b.accumulate_grad(grad)
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad)
+        if b.requires_grad:
+            b.accumulate_grad(-grad)
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * b.data)
+        if b.requires_grad:
+            b.accumulate_grad(grad * a.data)
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad / b.data)
+        if b.requires_grad:
+            b.accumulate_grad(-grad * a.data / (b.data ** 2))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def power(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def log(a, eps: float = 0.0) -> Tensor:
+    """Natural log; pass ``eps`` to stabilize near-zero inputs."""
+    a = as_tensor(a)
+    shifted = a.data + eps
+    out_data = np.log(shifted)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad / shifted)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def sqrt(a, eps: float = 0.0) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data + eps)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 0.5 / np.maximum(out_data, 1e-300))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def absolute(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * np.sign(a.data))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Nonlinearities
+# ----------------------------------------------------------------------
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * (1.0 - out_data ** 2))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def hardtanh(a, low: float = -1.0, high: float = 1.0) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.clip(a.data, low, high)
+    mask = (a.data > low) & (a.data < high)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def sign_ste(a, clip: float = 1.0) -> Tensor:
+    """Binarize to ±1 with a straight-through estimator.
+
+    Forward: ``sign(x)`` with ``sign(0) := +1`` so weights always map to
+    a valid MTJ state (P or AP — the devices have exactly two stable
+    states, paper Sec. II-D).  Backward: the gradient passes through
+    unchanged inside ``|x| <= clip`` and is zeroed outside, i.e. the
+    hard-tanh STE used by BinaryNet-style training.
+    """
+    a = as_tensor(a)
+    out_data = np.where(a.data >= 0, 1.0, -1.0)
+    mask = np.abs(a.data) <= clip
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Select ``a`` where ``condition`` else ``b``; condition is constant."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(np.where(cond, grad, 0.0))
+        if b.requires_grad:
+            b.accumulate_grad(np.where(cond, 0.0, grad))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = a.data >= b.data
+    out_data = np.where(take_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(np.where(take_a, grad, 0.0))
+        if b.requires_grad:
+            b.accumulate_grad(np.where(take_a, 0.0, grad))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    """Clamp values; gradient flows only through unclipped entries."""
+    return hardtanh(a, low, high)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            a.accumulate_grad(_unbroadcast(ga, a.data.shape))
+        if b.requires_grad:
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            b.accumulate_grad(_unbroadcast(gb, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _expand_reduced(grad: np.ndarray, shape: tuple, axis: Axis,
+                    keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(ax % len(shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_expand_reduced(grad, a.data.shape, axis, keepdims))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size / max(out_data.size, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            expanded = _expand_reduced(grad, a.data.shape, axis, keepdims)
+            a.accumulate_grad(expanded / count)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def var(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Biased variance (divides by N), matching batch-norm semantics."""
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    sq = mul(centered, centered)
+    return mean(sq, axis=axis, keepdims=keepdims)
+
+
+def max_reduce(a, axis: int, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded_out = a.data.max(axis=axis, keepdims=True)
+    mask = a.data == expanded_out
+    # Split gradient evenly across ties (rare with float data).
+    counts = mask.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            a.accumulate_grad(mask * g / counts)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(a.data.shape))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def transpose(a, axes: Optional[tuple] = None) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(np.transpose(grad, inverse))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor.accumulate_grad(grad[tuple(index)])
+
+    return Tensor.from_op(out_data, tuple(tensors), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            a.accumulate_grad(full)
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def pad2d(a, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    a = as_tensor(a)
+    if padding == 0:
+        return a
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    out_data = np.pad(a.data, pad_width)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad[:, :, padding:-padding, padding:-padding])
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Convolution / pooling via im2col
+# ----------------------------------------------------------------------
+def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    i0 = np.repeat(np.arange(kh), kw)
+    j0 = np.tile(np.arange(kw), kh)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    return rows, cols, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int):
+    """(N, C, H, W) -> (N, C*kh*kw, out_h*out_w) patch matrix."""
+    n, c, h, w = x.shape
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
+    patches = x[:, :, rows, cols]                     # (N, C, kh*kw, L)
+    return patches.reshape(n, c * kh * kw, -1), out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int):
+    """Adjoint of :func:`im2col` (scatter-add patches back)."""
+    n, c, h, w = x_shape
+    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
+    cols = cols.reshape(n, c, kh * kw, -1)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    np.add.at(x, (slice(None), slice(None), rows, cols_idx), cols)
+    return x
+
+
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution in NCHW layout.
+
+    ``weight`` has shape (C_out, C_in, KH, KW).  Implemented as
+    im2col + matmul, which is also exactly how the CIM crossbar mapping
+    strategy ① of Fig. 1 unrolls kernels into crossbar columns — the
+    deployed :class:`repro.cim.CimConv2d` reuses the same im2col.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if padding:
+        x_padded = pad2d(x, padding)
+    else:
+        x_padded = x
+
+    n = x_padded.data.shape[0]
+    c_out, c_in, kh, kw = weight.data.shape
+    cols, out_h, out_w = im2col(x_padded.data, kh, kw, stride)
+    w_mat = weight.data.reshape(c_out, -1)            # (C_out, C_in*kh*kw)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        bias = as_tensor(bias)
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x_padded, weight) if bias is None else (x_padded, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, c_out, -1)         # (N, C_out, L)
+        if weight.requires_grad:
+            gw = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+            weight.accumulate_grad(gw.reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
+        if x_padded.requires_grad:
+            gcols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
+            gx = col2im(gcols, x_padded.data.shape, kh, kw, stride)
+            x_padded.accumulate_grad(gx)
+
+    return Tensor.from_op(out, parents, backward)
+
+
+def max_pool2d(x, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride)
+    cols = cols.reshape(n * c, kernel * kernel, -1)
+    arg = cols.argmax(axis=1)                          # (N*C, L)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out_data = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            gcols = np.zeros_like(cols)
+            np.put_along_axis(
+                gcols, arg[:, None, :],
+                grad.reshape(n * c, 1, -1), axis=1)
+            gx = col2im(gcols.reshape(n * c, kernel * kernel, -1),
+                        (n * c, 1, h, w), kernel, kernel, stride)
+            x.accumulate_grad(gx.reshape(n, c, h, w))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def avg_pool2d(x, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.data.shape
+    cols, out_h, out_w = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride)
+    cols = cols.reshape(n * c, kernel * kernel, -1)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    k2 = kernel * kernel
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = np.repeat(grad.reshape(n * c, 1, -1), k2, axis=1) / k2
+            gx = col2im(g, (n * c, 1, h, w), kernel, kernel, stride)
+            x.accumulate_grad(gx.reshape(n, c, h, w))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def upsample2d(x, factor: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling of NCHW tensors.
+
+    The decoder primitive for the segmentation models (the paper's
+    SpinBayes evaluation includes semantic segmentation).  Backward
+    sums each output block's gradient back to its source pixel.
+    """
+    x = as_tensor(x)
+    if x.data.ndim != 4:
+        raise ValueError("upsample2d expects (N, C, H, W)")
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    out_data = x.data.repeat(factor, axis=2).repeat(factor, axis=3)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            n, c, h, w = x.data.shape
+            g = grad.reshape(n, c, h, factor, w, factor).sum(axis=(3, 5))
+            x.accumulate_grad(g)
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def _softmax_np(z: np.ndarray, axis: int) -> np.ndarray:
+    z = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    out_data = _softmax_np(a.data, axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            a.accumulate_grad(out_data * (grad - dot))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(
+                grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor.from_op(out_data, (a,), backward)
+
+
+def softmax_cross_entropy(logits, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and int ``labels`` (N,).
+
+    Fused for numerical stability; the classification loss used by
+    every NeuSpin method's training objective.
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    n = logits.data.shape[0]
+    probs = _softmax_np(logits.data, axis=-1)
+    nll = -np.log(np.maximum(probs[np.arange(n), labels], 1e-300))
+    out_data = np.asarray(nll.mean())
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            g = probs.copy()
+            g[np.arange(n), labels] -= 1.0
+            logits.accumulate_grad(grad * g / n)
+
+    return Tensor.from_op(out_data, (logits,), backward)

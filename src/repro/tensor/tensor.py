@@ -1,0 +1,275 @@
+"""The ``Tensor`` class: a numpy array plus a reverse-mode tape.
+
+Design notes
+------------
+* Dynamic define-by-run graph.  Each ``Tensor`` produced by an
+  operation stores a ``_backward`` closure and the set of parent
+  tensors; ``backward()`` topologically sorts the graph and runs the
+  closures in reverse.
+* Gradients accumulate into ``tensor.grad`` (a raw numpy array), the
+  same contract PyTorch uses, which keeps optimizer code familiar.
+* Broadcasting is handled in one place (``_unbroadcast``): every
+  binary op may freely rely on numpy broadcasting in the forward pass
+  and reduce the upstream gradient back to each parent's shape.
+* A module-level flag implements ``no_grad()`` for cheap inference —
+  crucial here because Bayesian inference runs tens of Monte Carlo
+  forward passes per input.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking.
+
+    Used by all evaluation / Monte-Carlo-inference paths; forward
+    passes inside the block build no graph and allocate no closures.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array content; coerced to ``float64`` (the reproduction favours
+        numeric fidelity over speed — models here are small).
+    requires_grad:
+        Whether gradients should flow into this tensor.  Only leaf
+        tensors created by the user / ``nn.Parameter`` normally set it.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None,
+              scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+        gen = rng if rng is not None else np.random.default_rng()
+        return Tensor(gen.standard_normal(shape) * scale,
+                      requires_grad=requires_grad)
+
+    @staticmethod
+    def from_op(data: np.ndarray, parents: Iterable["Tensor"],
+                backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Build a non-leaf tensor recording ``backward`` on the tape."""
+        parents = tuple(parents)
+        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = needs_grad
+        if needs_grad:
+            out._backward = backward
+            out._parents = parents
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); detached view."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Gradient machinery
+    # ------------------------------------------------------------------
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        ``grad`` defaults to ones (for scalar losses simply the value
+        1.0).  Raises if called on a tensor that does not require grad.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar "
+                                   "backward()")
+            grad = np.ones_like(self.data)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Operator sugar (delegates to functional ops; imported lazily to
+    # avoid a circular import at module load time)
+    # ------------------------------------------------------------------
+    def _f(self):
+        from repro.tensor import functional
+        return functional
+
+    def __add__(self, other):
+        return self._f().add(self, other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        return self._f().mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        return self._f().sub(self, other)
+
+    def __rsub__(self, other):
+        return self._f().sub(other, self)
+
+    def __truediv__(self, other):
+        return self._f().div(self, other)
+
+    def __rtruediv__(self, other):
+        return self._f().div(other, self)
+
+    def __neg__(self):
+        return self._f().mul(self, -1.0)
+
+    def __pow__(self, exponent: float):
+        return self._f().power(self, exponent)
+
+    def __matmul__(self, other):
+        return self._f().matmul(self, other)
+
+    def __getitem__(self, index):
+        return self._f().getitem(self, index)
+
+    # Reductions / shape ops as methods for readability at call sites.
+    def sum(self, axis=None, keepdims: bool = False):
+        return self._f().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        return self._f().mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int):
+        return self._f().reshape(self, shape)
+
+    def transpose(self, axes: Optional[tuple] = None):
+        return self._f().transpose(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+
+def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce ``value`` to a (constant) Tensor if it is not one."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

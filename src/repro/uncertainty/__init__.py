@@ -1,0 +1,30 @@
+"""Uncertainty estimation metrics and OOD detection scoring."""
+
+from repro.uncertainty.metrics import (
+    brier_score,
+    expected_calibration_error,
+    expected_entropy,
+    max_probability,
+    mean_iou,
+    mutual_information,
+    nll,
+    predictive_entropy,
+    reliability_bins,
+)
+from repro.uncertainty.ood import OodResult, aupr, auroc, detect
+
+__all__ = [
+    "predictive_entropy",
+    "expected_entropy",
+    "mutual_information",
+    "max_probability",
+    "mean_iou",
+    "nll",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_bins",
+    "OodResult",
+    "auroc",
+    "aupr",
+    "detect",
+]

@@ -1,0 +1,111 @@
+"""Uncertainty quantification metrics.
+
+Scoring functions over predictive distributions (entropy, mutual
+information, variance), proper scoring rules (NLL, Brier), and the
+calibration error used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def predictive_entropy(probs: np.ndarray) -> np.ndarray:
+    """Entropy of the mean predictive distribution (total uncertainty)."""
+    p = np.clip(np.asarray(probs, dtype=np.float64), 1e-12, 1.0)
+    return -(p * np.log(p)).sum(axis=-1)
+
+
+def expected_entropy(samples: np.ndarray) -> np.ndarray:
+    """Mean per-sample entropy (aleatoric component); samples (T, N, C)."""
+    p = np.clip(np.asarray(samples, dtype=np.float64), 1e-12, 1.0)
+    return -(p * np.log(p)).sum(axis=-1).mean(axis=0)
+
+
+def mutual_information(samples: np.ndarray) -> np.ndarray:
+    """BALD score: total − aleatoric = epistemic uncertainty."""
+    mean_probs = np.asarray(samples).mean(axis=0)
+    return np.maximum(
+        predictive_entropy(mean_probs) - expected_entropy(samples), 0.0)
+
+
+def max_probability(probs: np.ndarray) -> np.ndarray:
+    """Confidence score (1 − max prob is an uncertainty score)."""
+    return np.asarray(probs).max(axis=-1)
+
+
+def nll(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true class."""
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = np.asarray(probs)[np.arange(len(labels)), labels]
+    return float(-np.log(np.clip(picked, 1e-12, 1.0)).mean())
+
+
+def brier_score(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Multiclass Brier score (lower is better)."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(len(labels)), labels] = 1.0
+    return float(((probs - onehot) ** 2).sum(axis=-1).mean())
+
+
+def expected_calibration_error(probs: np.ndarray, labels: np.ndarray,
+                               n_bins: int = 10) -> float:
+    """ECE with equal-width confidence bins."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    confidence = probs.max(axis=-1)
+    correct = (probs.argmax(axis=-1) == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    ece = 0.0
+    n = len(labels)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidence > lo) & (confidence <= hi)
+        if not mask.any():
+            continue
+        gap = abs(correct[mask].mean() - confidence[mask].mean())
+        ece += mask.sum() / n * gap
+    return float(ece)
+
+
+def mean_iou(predictions: np.ndarray, targets: np.ndarray,
+             n_classes: int) -> float:
+    """Mean intersection-over-union across classes (segmentation).
+
+    Classes absent from both prediction and target are skipped (their
+    IoU is undefined), matching the standard mIoU protocol.
+    """
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    ious = []
+    for cls in range(n_classes):
+        pred_cls = predictions == cls
+        target_cls = targets == cls
+        union = (pred_cls | target_cls).sum()
+        if union == 0:
+            continue
+        ious.append((pred_cls & target_cls).sum() / union)
+    if not ious:
+        raise ValueError("no classes present in prediction or target")
+    return float(np.mean(ious))
+
+
+def reliability_bins(probs: np.ndarray, labels: np.ndarray,
+                     n_bins: int = 10):
+    """Per-bin (confidence, accuracy, count) triples for reliability plots."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    confidence = probs.max(axis=-1)
+    correct = (probs.argmax(axis=-1) == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidence > lo) & (confidence <= hi)
+        if mask.any():
+            rows.append((float(confidence[mask].mean()),
+                         float(correct[mask].mean()),
+                         int(mask.sum())))
+        else:
+            rows.append((float((lo + hi) / 2), float("nan"), 0))
+    return rows

@@ -1,0 +1,176 @@
+"""Dropout-family Bayesian layers: SpinDrop, Spatial, ScaleDrop, Affine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bayesian import (
+    AffineDropout,
+    ScaleDropout,
+    SpatialSpinDropout,
+    SpinDropout,
+    adaptive_dropout_probability,
+    count_dropout_modules,
+    make_affine_mlp,
+    make_scaledrop_mlp,
+    make_spatial_spindrop_cnn,
+    make_spindrop_mlp,
+    scale_parameters,
+    set_mc_mode,
+)
+from repro.devices import DeviceVariability, VariabilityParams
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(9)
+
+
+class TestSpinDropout:
+    def test_mask_rate(self):
+        layer = SpinDropout(1000, p=0.3, ideal=True,
+                            rng=np.random.default_rng(0))
+        mask = layer.sample_mask(20)
+        assert abs(1.0 - mask.mean() - 0.3) < 0.03
+
+    def test_eval_mode_identity(self):
+        layer = SpinDropout(8, p=0.5, ideal=True)
+        layer.eval()
+        x = Tensor(np.ones((4, 8)))
+        np.testing.assert_array_equal(layer(x).data, 1.0)
+
+    def test_mc_mode_keeps_sampling_in_eval(self):
+        layer = SpinDropout(64, p=0.5, ideal=True,
+                            rng=np.random.default_rng(0))
+        layer.eval()
+        layer.enable_mc(True)
+        out = layer(Tensor(np.ones((4, 64)))).data
+        assert (out == 0).any()
+
+    def test_device_backed_mask(self):
+        var = DeviceVariability(VariabilityParams(sigma_delta=0.05),
+                                rng=np.random.default_rng(1))
+        layer = SpinDropout(128, p=0.3, ideal=False, variability=var,
+                            rng=np.random.default_rng(1))
+        masks = [layer.sample_mask(1) for _ in range(200)]
+        rate = 1.0 - np.mean(masks)
+        assert 0.1 < rate < 0.5
+        assert layer.modules_bank.total_ops > 0
+
+    def test_rejects_feature_maps(self):
+        layer = SpinDropout(4, p=0.2, ideal=True)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((2, 4, 3, 3))))
+
+    def test_module_count(self):
+        model = make_spindrop_mlp(16, (32, 8), 4, p=0.2, seed=0)
+        assert count_dropout_modules(model) == 40
+
+
+class TestSpatialSpinDropout:
+    def test_whole_channels_dropped(self):
+        layer = SpatialSpinDropout(16, p=0.5, ideal=True,
+                                   rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 16, 4, 4)))).data
+        channel_sums = out.sum(axis=(2, 3))
+        # Every channel is either fully kept (16) or fully dropped (0).
+        assert set(np.unique(channel_sums)) <= {0.0, 16.0}
+
+    def test_requires_nchw(self):
+        layer = SpatialSpinDropout(4, p=0.2, ideal=True)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((2, 4))))
+
+    def test_module_count_is_channels(self):
+        layer = SpatialSpinDropout(24, p=0.2, ideal=True)
+        assert layer.n_dropout_modules == 24
+
+    def test_cnn_factory_forward(self):
+        model = make_spatial_spindrop_cnn(1, 16, 10, widths=(4, 8), seed=0)
+        out = model(Tensor(RNG.standard_normal((2, 1, 16, 16))))
+        assert out.shape == (2, 10)
+
+
+class TestScaleDropout:
+    def test_adaptive_probability_monotone(self):
+        small = adaptive_dropout_probability(100)
+        large = adaptive_dropout_probability(1_000_000)
+        assert small < large <= 0.25
+
+    def test_adaptive_probability_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_dropout_probability(0)
+
+    def test_single_module(self):
+        layer = ScaleDropout(64, p=0.2)
+        assert layer.n_dropout_modules == 1
+
+    def test_scalar_mask_modulates_whole_layer(self):
+        layer = ScaleDropout(8, p=0.999, drop_scale=0.5,
+                             rng=np.random.default_rng(0))
+        layer.scale.data[:] = 2.0
+        out = layer(Tensor(np.ones((3, 8)))).data
+        # p≈1 -> dropped: scale modulated to 2.0*0.5 = 1.0 everywhere.
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_eval_uses_learned_scale(self):
+        layer = ScaleDropout(4, p=0.5)
+        layer.scale.data[:] = 3.0
+        layer.eval()
+        out = layer(Tensor(np.ones((2, 4)))).data
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_stochastic_p_varies(self):
+        layer = ScaleDropout(4, p=0.5, stochastic_p_sigma=0.1,
+                             rng=np.random.default_rng(0))
+        ps = {layer._current_p() for _ in range(20)}
+        assert len(ps) > 1
+
+    def test_scale_is_trainable(self):
+        layer = ScaleDropout(4, p=0.2)
+        layer(Tensor(np.ones((2, 4)))).sum().backward()
+        assert layer.scale.grad is not None
+
+    def test_scale_parameters_helper(self):
+        model = make_scaledrop_mlp(16, (8, 8), 4, seed=0)
+        assert len(scale_parameters(model)) == 2
+
+    def test_spatial_mode(self):
+        layer = ScaleDropout(3, p=0.2, spatial=True)
+        out = layer(Tensor(np.ones((2, 3, 4, 4))))
+        assert out.shape == (2, 3, 4, 4)
+
+
+class TestAffineDropout:
+    def test_two_modules(self):
+        assert AffineDropout(8, p=0.2).n_dropout_modules == 2
+
+    def test_mask_sampling_rates(self):
+        layer = AffineDropout(4, p=0.3, rng=np.random.default_rng(0))
+        masks = [layer.sample_masks() for _ in range(2000)]
+        gamma_drop = np.mean([1 - m[0] for m in masks])
+        beta_drop = np.mean([1 - m[1] for m in masks])
+        assert abs(gamma_drop - 0.3) < 0.05
+        assert abs(beta_drop - 0.3) < 0.05
+
+    def test_forward_shapes(self):
+        layer = AffineDropout(8, p=0.2, rng=np.random.default_rng(0))
+        out = layer(Tensor(RNG.standard_normal((16, 8))))
+        assert out.shape == (16, 8)
+
+    def test_masks_cleared_after_forward(self):
+        layer = AffineDropout(4, p=0.9, rng=np.random.default_rng(0))
+        layer(Tensor(RNG.standard_normal((8, 4))))
+        assert layer.norm._gamma_mask is None
+
+    def test_stochastic_output_distribution(self):
+        layer = AffineDropout(4, p=0.5, rng=np.random.default_rng(0))
+        layer.norm.gamma.data[:] = 5.0
+        layer.norm.beta.data[:] = 2.0
+        set_mc_mode(layer, True)
+        layer.eval()
+        x = Tensor(RNG.standard_normal((16, 4)))
+        outs = {tuple(np.round(layer(x).data[0], 6)) for _ in range(20)}
+        assert len(outs) > 1  # different masks -> different outputs
+
+    def test_mlp_factory(self):
+        model = make_affine_mlp(16, (8,), 4, seed=0)
+        assert model(Tensor(RNG.standard_normal((2, 16)))).shape == (2, 4)

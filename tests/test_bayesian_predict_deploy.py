@@ -1,0 +1,209 @@
+"""MC prediction machinery and hardware deployment of Bayesian models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bayesian import (
+    BayesianCim,
+    DeepEnsemble,
+    PredictiveResult,
+    deterministic_predict,
+    make_affine_mlp,
+    make_scaledrop_mlp,
+    make_spatial_spindrop_cnn,
+    make_spindrop_mlp,
+    make_subset_vi_mlp,
+    mc_predict,
+    mc_predict_fn,
+    set_mc_mode,
+)
+from repro.cim import CimConfig
+from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(17)
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    return digits_dataset(n_samples=600, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trained_spindrop(small_data):
+    model = make_spindrop_mlp(small_data.n_features, (32,),
+                              small_data.n_classes, p=0.2, seed=5)
+    return train_classifier(model, small_data,
+                            TrainConfig(epochs=5, mc_samples=6))
+
+
+class TestPredictiveResult:
+    def _result(self):
+        samples = np.random.default_rng(0).dirichlet(
+            np.ones(4), size=(10, 6))
+        return PredictiveResult(probs=samples.mean(axis=0), samples=samples)
+
+    def test_shapes(self):
+        r = self._result()
+        assert r.predictions.shape == (6,)
+        assert r.predictive_entropy.shape == (6,)
+        assert r.mutual_information.shape == (6,)
+
+    def test_mutual_information_nonnegative(self):
+        r = self._result()
+        assert (r.mutual_information >= 0).all()
+
+    def test_entropy_bounds(self):
+        r = self._result()
+        assert (r.predictive_entropy >= 0).all()
+        assert (r.predictive_entropy <= np.log(4) + 1e-9).all()
+
+    def test_uniform_has_max_entropy(self):
+        probs = np.full((1, 4), 0.25)
+        samples = np.repeat(probs[None], 3, axis=0)
+        r = PredictiveResult(probs=probs, samples=samples)
+        np.testing.assert_allclose(r.predictive_entropy, np.log(4))
+        np.testing.assert_allclose(r.mutual_information, 0.0, atol=1e-12)
+
+
+class TestMcPredict:
+    def test_probabilities_normalized(self, trained_spindrop, small_data):
+        r = mc_predict(trained_spindrop, small_data.x_test[:16], n_samples=5)
+        np.testing.assert_allclose(r.probs.sum(axis=1), 1.0, rtol=1e-9)
+        assert r.samples.shape == (5, 16, 10)
+
+    def test_mc_mode_restored(self, trained_spindrop, small_data):
+        mc_predict(trained_spindrop, small_data.x_test[:4], n_samples=2)
+        from repro.bayesian.base import StochasticModule
+        for module in trained_spindrop.modules():
+            if isinstance(module, StochasticModule):
+                assert not module.mc_mode
+
+    def test_deterministic_predict_is_repeatable(self, trained_spindrop,
+                                                 small_data):
+        a = deterministic_predict(trained_spindrop, small_data.x_test[:8])
+        b = deterministic_predict(trained_spindrop, small_data.x_test[:8])
+        np.testing.assert_array_equal(a, b)
+
+    def test_batched_prediction_matches(self, trained_spindrop, small_data):
+        x = small_data.x_test[:20]
+        full = deterministic_predict(trained_spindrop, x)
+        chunked = deterministic_predict(trained_spindrop, x, batch_size=7)
+        np.testing.assert_allclose(full, chunked, atol=1e-12)
+
+    def test_mc_predict_fn(self):
+        rng = np.random.default_rng(0)
+
+        def forward(x):
+            return rng.standard_normal((len(x), 3))
+
+        r = mc_predict_fn(forward, np.zeros((5, 2)), n_samples=4)
+        assert r.samples.shape == (4, 5, 3)
+
+
+class TestBayesianCimDeployment:
+    def test_spindrop_deploys_and_predicts(self, trained_spindrop,
+                                           small_data):
+        deployed = BayesianCim(trained_spindrop, CimConfig(seed=0))
+        x = small_data.x_test[:20]
+        result = deployed.mc_forward(x, n_samples=5)
+        assert result.probs.shape == (20, 10)
+        assert deployed.n_dropout_modules == 32
+
+    def test_deployed_accuracy_tracks_software(self, trained_spindrop,
+                                               small_data):
+        sw = mc_predict(trained_spindrop, small_data.x_test, n_samples=10)
+        sw_acc = (sw.predictions == small_data.y_test).mean()
+        deployed = BayesianCim(trained_spindrop,
+                               CimConfig(adc_bits=8, seed=0))
+        hw = deployed.mc_forward(small_data.x_test, n_samples=10)
+        hw_acc = (hw.predictions == small_data.y_test).mean()
+        assert abs(sw_acc - hw_acc) < 0.15
+
+    def test_rng_cycles_booked_per_image(self, trained_spindrop, small_data):
+        deployed = BayesianCim(trained_spindrop, CimConfig(seed=0))
+        deployed.ledger.reset()
+        deployed.forward(small_data.x_test[:10], stochastic=True)
+        assert deployed.ledger["rng_cycle"] == 32 * 10
+
+    def test_deterministic_pass_books_no_rng(self, trained_spindrop,
+                                             small_data):
+        deployed = BayesianCim(trained_spindrop, CimConfig(seed=0))
+        deployed.ledger.reset()
+        deployed.deterministic_forward(small_data.x_test[:10])
+        assert deployed.ledger["rng_cycle"] == 0
+
+    def test_stochastic_passes_differ(self, trained_spindrop, small_data):
+        deployed = BayesianCim(trained_spindrop, CimConfig(seed=0))
+        x = small_data.x_test[:8]
+        a = deployed.forward(x, stochastic=True)
+        b = deployed.forward(x, stochastic=True)
+        assert not np.allclose(a, b)
+
+    def test_scaledrop_deploys(self, small_data):
+        model = make_scaledrop_mlp(small_data.n_features, (32,),
+                                   small_data.n_classes, seed=6)
+        train_classifier(model, small_data,
+                         TrainConfig(epochs=3, mc_samples=4))
+        deployed = BayesianCim(model, CimConfig(seed=1))
+        assert deployed.n_dropout_modules == 1
+        result = deployed.mc_forward(small_data.x_test[:10], n_samples=4)
+        assert result.probs.shape == (10, 10)
+
+    def test_subset_vi_deploys(self, small_data):
+        model = make_subset_vi_mlp(small_data.n_features, (32,),
+                                   small_data.n_classes, seed=7)
+        train_classifier(model, small_data,
+                         TrainConfig(epochs=3, mc_samples=4),
+                         loss_kind="elbo")
+        deployed = BayesianCim(model, CimConfig(seed=2))
+        deployed.ledger.reset()
+        deployed.forward(small_data.x_test[:4], stochastic=True)
+        # One stochastic-SOT draw per scale element per image.
+        assert deployed.ledger["rng_cycle"] == 32 * 4
+
+    def test_affine_deploys(self, small_data):
+        model = make_affine_mlp(small_data.n_features, (32,),
+                                small_data.n_classes, p=0.2, seed=8)
+        train_classifier(model, small_data,
+                         TrainConfig(epochs=3, mc_samples=4))
+        deployed = BayesianCim(model, CimConfig(seed=3))
+        assert deployed.n_dropout_modules == 2
+        result = deployed.mc_forward(small_data.x_test[:10], n_samples=4)
+        assert result.probs.shape == (10, 10)
+
+    def test_spatial_cnn_deploys(self):
+        data = digits_dataset(n_samples=300, seed=9, flat=False)
+        model = make_spatial_spindrop_cnn(1, data.image_size,
+                                          data.n_classes, widths=(4, 8),
+                                          seed=9)
+        train_classifier(model, data, TrainConfig(epochs=2, mc_samples=3))
+        deployed = BayesianCim(model, CimConfig(seed=4))
+        assert deployed.n_dropout_modules == 4  # one bank: 4 channels
+        result = deployed.mc_forward(data.x_test[:6], n_samples=3)
+        assert result.probs.shape == (6, 10)
+
+
+class TestDeepEnsemble:
+    def test_member_spread_is_uncertainty(self, small_data):
+        def factory(i):
+            model = make_spindrop_mlp(small_data.n_features, (16,),
+                                      small_data.n_classes, p=0.2, seed=i)
+            return train_classifier(model, small_data,
+                                    TrainConfig(epochs=2, mc_samples=2,
+                                                seed=i))
+        ensemble = DeepEnsemble.from_factory(factory, n_members=3)
+        result = ensemble.predict(small_data.x_test[:10])
+        assert result.samples.shape == (3, 10, 10)
+
+    def test_memory_footprint_scales_with_members(self, small_data):
+        model = make_spindrop_mlp(small_data.n_features, (16,),
+                                  small_data.n_classes, p=0.2, seed=0)
+        ensemble = DeepEnsemble([model, model, model])
+        assert ensemble.memory_footprint_bits() == \
+            3 * model.num_parameters() * 32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeepEnsemble([])

@@ -1,0 +1,187 @@
+"""VI-family methods: subset-parameter inference and SpinBayes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bayesian import (
+    BayesianScale,
+    SpinBayesNetwork,
+    bayesian_parameter_count,
+    conventional_vi_footprint_bits,
+    deterministic_parameter_count,
+    elbo_loss,
+    make_subset_vi_mlp,
+    mc_predict,
+    memory_footprint_bits,
+    set_mc_mode,
+)
+from repro.cim import CimConfig
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(13)
+
+
+class TestBayesianScale:
+    def test_sampling_statistics(self):
+        layer = BayesianScale(2000, rng=np.random.default_rng(0))
+        layer.mu.data[:] = 1.5
+        layer.log_sigma.data[:] = np.log(0.2)
+        sample = layer.posterior_sample_np()
+        assert abs(sample.mean() - 1.5) < 0.05
+        assert abs(sample.std() - 0.2) < 0.05
+
+    def test_training_mode_samples(self):
+        layer = BayesianScale(8, rng=np.random.default_rng(0))
+        layer.log_sigma.data[:] = np.log(0.5)
+        x = Tensor(np.ones((2, 8)))
+        out1 = layer(x).data.copy()
+        out2 = layer(x).data.copy()
+        assert not np.allclose(out1, out2)
+
+    def test_eval_mode_uses_mean(self):
+        layer = BayesianScale(8)
+        layer.mu.data[:] = 2.0
+        layer.eval()
+        out = layer(Tensor(np.ones((2, 8)))).data
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_kl_zero_at_prior(self):
+        layer = BayesianScale(8, prior_mu=1.0, prior_sigma=0.1,
+                              init_log_sigma=np.log(0.1))
+        np.testing.assert_allclose(float(layer.kl().data), 0.0, atol=1e-9)
+
+    def test_kl_gradients_flow(self):
+        layer = BayesianScale(8)
+        layer.mu.data[:] = 3.0
+        layer.kl().backward()
+        assert layer.mu.grad is not None and layer.log_sigma.grad is not None
+
+    def test_reparam_grad_through_sample(self):
+        layer = BayesianScale(4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert layer.mu.grad is not None
+        assert layer.log_sigma.grad is not None
+
+    def test_bayesian_parameter_count(self):
+        model = make_subset_vi_mlp(16, (8, 8), 4, seed=0)
+        assert bayesian_parameter_count(model) == 2 * (8 + 8)
+        assert deterministic_parameter_count(model) > 0
+
+
+class TestElboAndFootprints:
+    def test_elbo_exceeds_ce(self):
+        model = make_subset_vi_mlp(16, (8,), 4, seed=0)
+        # Move posterior off the prior so KL > 0.
+        for module in model.modules():
+            if isinstance(module, BayesianScale):
+                module.mu.data[:] = 2.0
+        x = Tensor(RNG.standard_normal((8, 16)))
+        y = RNG.integers(0, 4, 8)
+        ce = nn.cross_entropy(model(x), y)
+        model.zero_grad()
+        elbo = elbo_loss(model, model(x), y, n_train=100)
+        assert float(elbo.data) > 0.0
+
+    def test_memory_ratio_large(self):
+        """Subset VI stores ~weight_count bits; conventional VI 64× per
+        weight — the C5 claim engine."""
+        model = make_subset_vi_mlp(256, (256, 128), 10, seed=0)
+        ratio = (conventional_vi_footprint_bits(model)
+                 / memory_footprint_bits(model))
+        assert ratio > 20.0
+
+    def test_footprint_dominated_by_binary_weights(self):
+        model = make_subset_vi_mlp(256, (128,), 10, seed=0)
+        bits = memory_footprint_bits(model)
+        weight_bits = 256 * 128 + 128 * 10
+        assert bits < weight_bits * 10  # stats don't blow it up
+
+
+class TestSubsetViTraining:
+    def test_learns_and_estimates_uncertainty(self):
+        from repro.experiments.common import (TrainConfig, digits_dataset,
+                                              train_classifier)
+        data = digits_dataset(n_samples=800, seed=3)
+        model = make_subset_vi_mlp(data.n_features, (64,), data.n_classes,
+                                   seed=3)
+        train_classifier(model, data, TrainConfig(epochs=6, mc_samples=8),
+                         loss_kind="elbo")
+        result = mc_predict(model, data.x_test, n_samples=8)
+        acc = (result.predictions == data.y_test).mean()
+        assert acc > 0.5
+        assert result.predictive_entropy.shape == (len(data.x_test),)
+
+
+class TestSpinBayes:
+    def _teacher(self, seed=0):
+        model = make_subset_vi_mlp(16, (12,), 4, seed=seed)
+        # Give the posterior some spread.
+        for module in model.modules():
+            if isinstance(module, BayesianScale):
+                module.log_sigma.data[:] = np.log(0.1)
+        # Settle batch-norm stats.
+        model.train()
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            model(Tensor(np.sign(rng.standard_normal((32, 16)))))
+        model.eval()
+        return model
+
+    def test_component_count(self):
+        net = SpinBayesNetwork.from_subset_vi(self._teacher(),
+                                              n_components=4, seed=0)
+        for layer in net.mvm_layers():
+            assert layer.n_components == 4
+        assert net.n_crossbars == 8  # 2 MVM layers × 4 components
+
+    def test_forward_shape(self):
+        net = SpinBayesNetwork.from_subset_vi(self._teacher(),
+                                              n_components=4, seed=0)
+        out = net.forward(np.sign(RNG.standard_normal((5, 16))))
+        assert out.shape == (5, 4)
+
+    def test_component_pinning_deterministic(self):
+        net = SpinBayesNetwork.from_subset_vi(self._teacher(),
+                                              n_components=4, seed=0)
+        x = np.sign(RNG.standard_normal((3, 16)))
+        a = net.forward(x, components=[1, 2])
+        b = net.forward(x, components=[1, 2])
+        np.testing.assert_allclose(a, b)
+
+    def test_different_components_differ(self):
+        teacher = self._teacher()
+        for module in teacher.modules():
+            if isinstance(module, BayesianScale):
+                module.log_sigma.data[:] = np.log(0.3)  # wide posterior
+        net = SpinBayesNetwork.from_subset_vi(teacher, n_components=4,
+                                              n_levels=64, seed=0)
+        x = np.sign(RNG.standard_normal((3, 16)))
+        layer = net.mvm_layers()[0]
+        a = layer.forward(x, component=0)
+        b = layer.forward(x, component=3)
+        # Different posterior samples -> different analog MACs (the sign
+        # activation downstream may still absorb small differences —
+        # that robustness is a feature of binary networks, not a bug).
+        assert not np.allclose(a, b)
+
+    def test_quantization_error_shrinks_with_levels(self):
+        teacher = self._teacher()
+        coarse = SpinBayesNetwork.from_subset_vi(teacher, n_components=2,
+                                                 n_levels=4, seed=0)
+        fine = SpinBayesNetwork.from_subset_vi(teacher, n_components=2,
+                                               n_levels=64, seed=0)
+        assert fine.quantization_error() < coarse.quantization_error()
+
+    def test_arbiter_books_rng_cycles(self):
+        net = SpinBayesNetwork.from_subset_vi(self._teacher(),
+                                              n_components=4, seed=0)
+        net.ledger.reset()
+        net.forward(np.sign(RNG.standard_normal((2, 16))))
+        assert net.ledger["rng_cycle"] == 2 * 2  # 2 layers × log2(4)
+
+    def test_rejects_unsupported_layers(self):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3))
+        with pytest.raises(TypeError):
+            SpinBayesNetwork.from_subset_vi(model, n_components=2)

@@ -1,0 +1,161 @@
+"""Crossbar arrays: XNOR MAC exactness, gating, non-idealities."""
+
+import numpy as np
+import pytest
+
+from repro.cim import AnalogCrossbar, OpLedger, XnorCrossbar
+from repro.devices import (
+    DefectModel,
+    DefectRates,
+    DeviceVariability,
+    VariabilityParams,
+)
+
+RNG = np.random.default_rng(21)
+
+
+def _random_binary(shape, rng=RNG):
+    w = np.sign(rng.standard_normal(shape))
+    w[w == 0] = 1.0
+    return w
+
+
+class TestXnorCrossbar:
+    def test_ideal_mac_exact(self):
+        """With no non-idealities the decoded MAC equals x @ W."""
+        w = _random_binary((16, 8))
+        bar = XnorCrossbar(16, 8)
+        bar.program(w)
+        x = _random_binary((5, 16))
+        out = bar.matvec(x)
+        np.testing.assert_allclose(out, x @ w, atol=1e-9)
+
+    def test_zero_inputs_gate_rows(self):
+        w = _random_binary((6, 4))
+        bar = XnorCrossbar(6, 4)
+        bar.program(w)
+        x = _random_binary((1, 6))
+        x_gated = x.copy()
+        x_gated[0, :3] = 0.0
+        out = bar.matvec(x_gated)
+        np.testing.assert_allclose(out, x_gated @ w, atol=1e-9)
+
+    def test_row_mask_gates_layerwide(self):
+        w = _random_binary((6, 4))
+        bar = XnorCrossbar(6, 4)
+        bar.program(w)
+        x = _random_binary((3, 6))
+        mask = np.array([1, 1, 0, 0, 1, 1], dtype=float)
+        out = bar.matvec(x, row_mask=mask)
+        np.testing.assert_allclose(out, (x * mask) @ w, atol=1e-9)
+
+    def test_rejects_non_binary_weights(self):
+        bar = XnorCrossbar(4, 4)
+        with pytest.raises(ValueError):
+            bar.program(np.full((4, 4), 0.5))
+
+    def test_rejects_bad_inputs(self):
+        bar = XnorCrossbar(4, 4)
+        bar.program(_random_binary((4, 4)))
+        with pytest.raises(ValueError):
+            bar.matvec(np.full((1, 4), 0.3))
+
+    def test_unprogrammed_raises(self):
+        with pytest.raises(RuntimeError):
+            XnorCrossbar(4, 4).matvec(_random_binary((1, 4)))
+
+    def test_variability_perturbs_but_tracks(self):
+        w = _random_binary((32, 16))
+        var = DeviceVariability(VariabilityParams(sigma_r=0.05,
+                                                  sigma_read=0.02),
+                                rng=np.random.default_rng(5))
+        bar = XnorCrossbar(32, 16, variability=var,
+                           rng=np.random.default_rng(5))
+        bar.program(w)
+        x = _random_binary((10, 32))
+        out = bar.matvec(x)
+        exact = x @ w
+        assert not np.allclose(out, exact)          # noise present
+        assert np.abs(out - exact).mean() < 4.0     # but small
+
+    def test_defects_change_stored_weights(self):
+        w = np.ones((8, 8))
+        defects = DefectModel(DefectRates(stuck_at_p=0.5),
+                              rng=np.random.default_rng(0))
+        bar = XnorCrossbar(8, 8, defects=defects)
+        bar.program(w)
+        assert (bar.programmed_weights == -1.0).any()
+
+    def test_ir_drop_attenuates(self):
+        w = np.ones((64, 4))
+        clean = XnorCrossbar(64, 4)
+        clean.program(w)
+        droopy = XnorCrossbar(64, 4, wire_resistance=5.0)
+        droopy.program(w)
+        x = np.ones((1, 64))
+        out_clean = clean.matvec(x)
+        out_droopy = droopy.matvec(x)
+        assert np.all(out_droopy < out_clean)
+
+    def test_ledger_counts_cell_accesses(self):
+        ledger = OpLedger()
+        bar = XnorCrossbar(10, 6, ledger=ledger)
+        bar.program(_random_binary((10, 6)))
+        assert ledger["mtj_write"] == 2 * 60
+        bar.matvec(_random_binary((3, 10)))
+        assert ledger["crossbar_cell_access"] == 3 * 10 * 6
+
+    def test_ledger_skips_gated_rows(self):
+        ledger = OpLedger()
+        bar = XnorCrossbar(10, 6, ledger=ledger)
+        bar.program(_random_binary((10, 6)))
+        x = _random_binary((1, 10))
+        x[0, :5] = 0.0
+        bar.matvec(x)
+        assert ledger["crossbar_cell_access"] == 5 * 6
+
+
+class TestAnalogCrossbar:
+    def test_mvm_accuracy_many_levels(self):
+        values = RNG.uniform(-1, 1, (12, 6))
+        bar = AnalogCrossbar(12, 6, n_levels=256)
+        bar.program(values)
+        x = RNG.uniform(-1, 1, (4, 12))
+        out = bar.matvec(x)
+        np.testing.assert_allclose(out, x @ values, atol=0.1)
+
+    def test_quantization_error_shrinks_with_levels(self):
+        values = RNG.uniform(-1, 1, (16, 16))
+        errors = []
+        for n_levels in (4, 16, 64):
+            bar = AnalogCrossbar(16, 16, n_levels=n_levels)
+            bar.program(values)
+            errors.append(np.abs(bar.stored_values() - values).mean())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_stored_values_range(self):
+        values = RNG.uniform(-3, 5, (8, 8))
+        bar = AnalogCrossbar(8, 8, n_levels=16)
+        bar.program(values)
+        stored = bar.stored_values()
+        assert stored.min() >= values.min() - 1e-9
+        assert stored.max() <= values.max() + 1e-9
+
+    def test_explicit_range_clips(self):
+        values = np.array([[-10.0, 10.0]])
+        bar = AnalogCrossbar(1, 2, n_levels=16)
+        bar.program(values, v_min=-1.0, v_max=1.0)
+        stored = bar.stored_values()
+        np.testing.assert_allclose(stored, [[-1.0, 1.0]])
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            AnalogCrossbar(4, 4, n_levels=1)
+
+    def test_ledger_counts(self):
+        ledger = OpLedger()
+        bar = AnalogCrossbar(8, 4, n_levels=16, ledger=ledger)
+        bar.program(RNG.uniform(-1, 1, (8, 4)))
+        bar.matvec(RNG.uniform(-1, 1, (2, 8)))
+        assert ledger["crossbar_cell_access"] == 2 * 8 * 4
+        assert ledger["mtj_write"] == 8 * 4 * 4  # log2(16) junction writes

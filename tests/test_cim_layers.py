@@ -1,0 +1,221 @@
+"""Deployed CIM layers and compilation: parity with software."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cim import (
+    CimConfig,
+    CimConv2d,
+    CimLinear,
+    DigitalScale,
+    DropoutGate,
+    FrozenNorm,
+    MappingStrategy,
+    OpLedger,
+    compile_to_cim,
+)
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(31)
+
+
+def _binary(shape):
+    w = np.sign(RNG.standard_normal(shape))
+    w[w == 0] = 1.0
+    return w
+
+
+def _ideal_config(**kwargs):
+    defaults = dict(adc_bits=12, seed=0)
+    defaults.update(kwargs)
+    return CimConfig(**defaults)
+
+
+class TestCimLinear:
+    def test_matches_software_matmul(self):
+        w = _binary((10, 24))
+        layer = CimLinear(w, None, None, _ideal_config(), OpLedger())
+        x = _binary((6, 24))
+        np.testing.assert_allclose(layer.forward(x), x @ w.T, atol=1e-6)
+
+    def test_tiling_preserves_result(self):
+        w = _binary((20, 300))   # 300 rows -> 3 tiles at max_rows=128
+        layer = CimLinear(w, None, None, _ideal_config(max_rows=128),
+                          OpLedger())
+        assert layer.n_crossbars == 3
+        x = _binary((4, 300))
+        np.testing.assert_allclose(layer.forward(x), x @ w.T, atol=1e-6)
+
+    def test_scale_and_bias(self):
+        w = _binary((3, 8))
+        scale = np.array([2.0, 0.5, 1.0])
+        bias = np.array([1.0, -1.0, 0.0])
+        layer = CimLinear(w, scale, bias, _ideal_config(), OpLedger())
+        x = _binary((2, 8))
+        np.testing.assert_allclose(layer.forward(x),
+                                   (x @ w.T) * scale + bias, atol=1e-6)
+
+    def test_low_adc_bits_quantizes(self):
+        w = _binary((4, 64))
+        coarse = CimLinear(w, None, None, _ideal_config(adc_bits=3),
+                           OpLedger())
+        fine = CimLinear(w, None, None, _ideal_config(adc_bits=12),
+                         OpLedger())
+        x = _binary((8, 64))
+        err_coarse = np.abs(coarse.forward(x) - x @ w.T).mean()
+        err_fine = np.abs(fine.forward(x) - x @ w.T).mean()
+        assert err_coarse > err_fine
+
+    def test_rejects_real_weights(self):
+        with pytest.raises(ValueError):
+            CimLinear(np.full((2, 2), 0.5), None, None, _ideal_config(),
+                      OpLedger())
+
+
+class TestCimConv2d:
+    def test_matches_software_conv(self):
+        w = _binary((4, 2, 3, 3))
+        layer = CimConv2d(w, None, None, stride=1, padding=1,
+                          config=_ideal_config(), ledger=OpLedger())
+        x = _binary((2, 2, 6, 6))
+        from repro.tensor import functional as F
+        expected = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-6)
+
+    def test_both_strategies_equivalent(self):
+        w = _binary((4, 3, 3, 3))
+        x = _binary((2, 3, 8, 8))
+        outs = []
+        for strategy in MappingStrategy:
+            layer = CimConv2d(
+                w, None, None, stride=1, padding=0,
+                config=_ideal_config(mapping_strategy=strategy),
+                ledger=OpLedger())
+            outs.append(layer.forward(x))
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-6)
+
+    def test_channel_mask_gates_feature_maps(self):
+        w = _binary((4, 3, 3, 3))
+        layer = CimConv2d(w, None, None, stride=1, padding=0,
+                          config=_ideal_config(), ledger=OpLedger())
+        x = _binary((1, 3, 6, 6))
+        layer.channel_mask = np.array([1.0, 0.0, 1.0])
+        out = layer.forward(x)
+        x_masked = x.copy()
+        x_masked[:, 1] = 0.0
+        from repro.tensor import functional as F
+        expected = F.conv2d(Tensor(x_masked), Tensor(w)).data
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    def test_rejects_rectangular_kernel(self):
+        w = np.ones((2, 2, 3, 5))
+        with pytest.raises(ValueError):
+            CimConv2d(w, None, None, 1, 0, _ideal_config(), OpLedger())
+
+
+class TestDigitalStages:
+    def test_frozen_norm_matches_batchnorm_eval(self):
+        bn = nn.BatchNorm1d(6)
+        for _ in range(10):
+            bn(Tensor(RNG.standard_normal((32, 6)) * 2 + 1))
+        bn.eval()
+        frozen = FrozenNorm(bn.running_mean, bn.running_var,
+                            bn.gamma.data, bn.beta.data, bn.eps,
+                            spatial=False, inverted=False,
+                            ledger=OpLedger())
+        x = RNG.standard_normal((8, 6))
+        with no_grad():
+            np.testing.assert_allclose(frozen.forward(x),
+                                       bn(Tensor(x)).data, atol=1e-10)
+
+    def test_frozen_inverted_norm_order(self):
+        inv = nn.InvertedNorm(4)
+        for _ in range(10):
+            inv(Tensor(RNG.standard_normal((32, 4)) + 2.0))
+        inv.eval()
+        frozen = FrozenNorm(inv.running_mean, inv.running_var,
+                            inv.gamma.data, inv.beta.data, inv.eps,
+                            spatial=False, inverted=True,
+                            ledger=OpLedger())
+        x = RNG.standard_normal((8, 4))
+        with no_grad():
+            np.testing.assert_allclose(frozen.forward(x),
+                                       inv(Tensor(x)).data, atol=1e-10)
+
+    def test_frozen_norm_affine_masks(self):
+        frozen = FrozenNorm(np.zeros(3), np.ones(3), np.full(3, 5.0),
+                            np.full(3, 2.0), 1e-5, spatial=False,
+                            inverted=True, ledger=OpLedger())
+        x = RNG.standard_normal((4, 3))
+        frozen.gamma_multiplier = 0.0    # gamma -> identity
+        frozen.beta_multiplier = 0.0     # beta -> zero
+        out = frozen.forward(x)
+        expected = x / np.sqrt(1.0 + 1e-5)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_dropout_gate_masks_and_passthrough(self):
+        gate = DropoutGate(0.5, channelwise=False, ledger=OpLedger())
+        x = np.ones((2, 4))
+        np.testing.assert_array_equal(gate.forward(x), x)  # mask None
+        gate.mask = np.array([1.0, 0.0, 1.0, 0.0])
+        out = gate.forward(x)
+        np.testing.assert_array_equal(out, [[1, 0, 1, 0]] * 2)
+
+    def test_digital_scale_multiplier(self):
+        stage = DigitalScale(np.array([2.0, 3.0]), spatial=False,
+                             ledger=OpLedger())
+        x = np.ones((1, 2))
+        np.testing.assert_allclose(stage.forward(x), [[2.0, 3.0]])
+        stage.multiplier = 0.5
+        np.testing.assert_allclose(stage.forward(x), [[1.0, 1.5]])
+
+
+class TestCompile:
+    def _binary_model(self):
+        rng = np.random.default_rng(0)
+        return nn.Sequential(
+            nn.BinaryLinear(16, 12, rng=rng, binarize_input=True),
+            nn.BatchNorm1d(12),
+            nn.SignActivation(),
+            nn.BinaryLinear(12, 4, rng=rng),
+        )
+
+    def test_compiled_matches_software_eval(self):
+        model = self._binary_model()
+        # Settle batch-norm running statistics.
+        model.train()
+        for _ in range(20):
+            model(Tensor(RNG.standard_normal((32, 16))))
+        model.eval()
+        net = compile_to_cim(model, CimConfig(adc_bits=12, seed=0))
+        x = RNG.standard_normal((8, 16))
+        with no_grad():
+            expected = model(Tensor(x)).data
+        np.testing.assert_allclose(net.forward(x), expected, atol=1e-5)
+
+    def test_full_precision_linear_rejected(self):
+        model = nn.Sequential(nn.Linear(4, 2))
+        with pytest.raises(TypeError):
+            compile_to_cim(model)
+
+    def test_stage_count_and_types(self):
+        net = compile_to_cim(self._binary_model(),
+                             CimConfig(adc_bits=8, seed=0))
+        kinds = [type(s).__name__ for s in net.stages]
+        assert kinds == ["CimLinear", "FrozenNorm", "DigitalSign",
+                         "CimLinear"]
+
+    def test_n_crossbars(self):
+        net = compile_to_cim(self._binary_model(),
+                             CimConfig(adc_bits=8, seed=0))
+        assert net.n_crossbars == 2
+
+    def test_ledger_accumulates_over_forward(self):
+        net = compile_to_cim(self._binary_model(),
+                             CimConfig(adc_bits=8, seed=0))
+        programming = net.ledger["mtj_write"]
+        assert programming == 2 * (16 * 12 + 12 * 4)
+        net.forward(RNG.standard_normal((4, 16)))
+        assert net.ledger["adc_conversion"] > 0
+        assert net.ledger["sa_read"] > 0

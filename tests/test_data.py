@@ -1,0 +1,216 @@
+"""Synthetic datasets, corruptions, OOD sources, loaders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    CORRUPTIONS,
+    batches,
+    blob_dataset,
+    corrupt,
+    forecast_dataset,
+    multisine_series,
+    ood,
+    synth_digits,
+    synth_letters,
+    texture_dataset,
+    train_test_split,
+    windowed_forecast,
+)
+
+
+class TestSynthDigits:
+    def test_shapes_flat(self):
+        x, y = synth_digits(50, size=16, seed=0)
+        assert x.shape == (50, 256) and y.shape == (50,)
+
+    def test_shapes_nchw(self):
+        x, y = synth_digits(50, size=16, seed=0, flat=False)
+        assert x.shape == (50, 1, 16, 16)
+
+    def test_value_range(self):
+        x, _ = synth_digits(100, seed=0)
+        assert x.min() >= -1.0 and x.max() <= 1.0
+
+    def test_all_classes_present(self):
+        _, y = synth_digits(500, seed=0)
+        assert set(y) == set(range(10))
+
+    def test_deterministic_with_seed(self):
+        a, ya = synth_digits(20, seed=42)
+        b, yb = synth_digits(20, seed=42)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_zero_jitter_is_clean(self):
+        """Same class, zero jitter -> identical renders."""
+        x, y = synth_digits(100, jitter=0.0, seed=0)
+        for digit in range(10):
+            members = x[y == digit]
+            if len(members) > 1:
+                np.testing.assert_array_equal(members[0], members[1])
+
+    def test_classes_distinguishable(self):
+        """Nearest-centroid classification works on clean digits."""
+        x, y = synth_digits(500, jitter=0.15, seed=0)
+        centroids = np.stack([x[y == d].mean(axis=0) for d in range(10)])
+        pred = np.argmin(
+            ((x[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1)
+        assert (pred == y).mean() > 0.9
+
+    def test_letters_differ_from_digits(self):
+        xd, yd = synth_digits(300, jitter=0.0, seed=0)
+        xl, yl = synth_letters(300, jitter=0.0, seed=0)
+        centroids = np.stack([xd[yd == d].mean(axis=0) for d in range(10)])
+        # Letter glyphs should sit measurably away from digit centroids.
+        dists = np.min(((xl[:, None] - centroids[None]) ** 2).sum(-1),
+                       axis=1)
+        assert dists.min() > 0.0
+
+
+class TestOtherDatasets:
+    def test_blob_quadrants(self):
+        x, y = blob_dataset(200, seed=0)
+        assert set(y) <= {0, 1, 2, 3}
+        assert x.shape == (200, 256)
+
+    def test_blob_classes_validation(self):
+        with pytest.raises(ValueError):
+            blob_dataset(10, n_classes=3)
+
+    def test_texture_default_nchw(self):
+        x, y = texture_dataset(50, seed=0)
+        assert x.shape == (50, 1, 16, 16)
+
+
+class TestCorruptions:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_preserves_shape_and_range_flat(self, name):
+        x, _ = synth_digits(10, seed=0)
+        out = corrupt(x, name, severity=3, rng=np.random.default_rng(0))
+        assert out.shape == x.shape
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_preserves_shape_nchw(self, name):
+        x, _ = synth_digits(6, seed=0, flat=False)
+        out = corrupt(x, name, severity=2, rng=np.random.default_rng(0))
+        assert out.shape == x.shape
+
+    def test_severity_increases_distortion(self):
+        x, _ = synth_digits(30, seed=0)
+        d1 = np.abs(corrupt(x, "gaussian_noise", 1,
+                            np.random.default_rng(0)) - x).mean()
+        d5 = np.abs(corrupt(x, "gaussian_noise", 5,
+                            np.random.default_rng(0)) - x).mean()
+        assert d5 > d1
+
+    def test_unknown_name(self):
+        x, _ = synth_digits(2, seed=0)
+        with pytest.raises(KeyError):
+            corrupt(x, "plague")
+
+    def test_invalid_severity(self):
+        x, _ = synth_digits(2, seed=0)
+        with pytest.raises(ValueError):
+            corrupt(x, "gaussian_noise", severity=6)
+
+    @given(st.sampled_from(sorted(CORRUPTIONS)),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_bounded_output(self, name, severity):
+        x, _ = synth_digits(4, seed=1)
+        out = corrupt(x, name, severity, np.random.default_rng(2))
+        assert np.isfinite(out).all()
+        assert out.min() >= -1.0 - 1e-12
+        assert out.max() <= 1.0 + 1e-12
+
+
+class TestOodSources:
+    def test_uniform_noise_range(self):
+        x = ood.uniform_noise(100, 256, seed=0)
+        assert x.shape == (100, 256)
+        assert x.min() >= -1.0 and x.max() <= 1.0
+
+    def test_rotation_changes_images(self):
+        x, _ = synth_digits(20, seed=0)
+        rotated = ood.random_rotation(x, seed=1)
+        assert rotated.shape == x.shape
+        assert np.abs(rotated - x).mean() > 0.05
+
+    def test_letters_shape(self):
+        x = ood.letters(30, seed=0)
+        assert x.shape == (30, 256)
+
+    def test_amplitude_shift_compresses(self):
+        x, _ = synth_digits(20, seed=0)
+        shifted = ood.amplitude_shift(x)
+        assert shifted.std() < x.std()
+
+
+class TestTimeSeries:
+    def test_series_normalized(self):
+        s = multisine_series(500, seed=0)
+        assert np.abs(s).max() <= 1.0 + 1e-12
+
+    def test_windowing_shapes(self):
+        s = multisine_series(100, seed=0)
+        x, y = windowed_forecast(s, history=10)
+        assert x.shape == (90, 10, 1) and y.shape == (90, 1)
+
+    def test_windowing_alignment(self):
+        s = np.arange(20, dtype=float)
+        x, y = windowed_forecast(s, history=5)
+        np.testing.assert_allclose(x[0, :, 0], [0, 1, 2, 3, 4])
+        assert y[0, 0] == 5.0
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            windowed_forecast(np.zeros(5), history=10)
+
+    def test_chronological_split(self):
+        (xtr, ytr), (xte, yte) = forecast_dataset(300, history=10,
+                                                  train_frac=0.8, seed=0)
+        assert len(xtr) + len(xte) == 290
+        assert len(xtr) == int(290 * 0.8)
+
+
+class TestLoaders:
+    def test_split_sizes(self):
+        x = np.arange(100).reshape(100, 1).astype(float)
+        y = np.arange(100)
+        (xtr, ytr), (xte, yte) = train_test_split(x, y, 0.25, seed=0)
+        assert len(xtr) == 75 and len(xte) == 25
+
+    def test_split_disjoint(self):
+        x = np.arange(50).reshape(50, 1).astype(float)
+        y = np.arange(50)
+        (xtr, _), (xte, _) = train_test_split(x, y, 0.2, seed=1)
+        assert not set(xtr.reshape(-1)) & set(xte.reshape(-1))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_frac=1.5)
+
+    def test_batches_cover_everything(self):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in batches(x, y, batch_size=3, seed=0):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        counts = [len(xb) for xb, _ in batches(x, y, 3, drop_last=True)]
+        assert counts == [3, 3, 3]
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6).reshape(6, 1).astype(float)
+        y = np.arange(6)
+        first_batch = next(iter(batches(x, y, 3, shuffle=False)))
+        np.testing.assert_array_equal(first_batch[1], [0, 1, 2])

@@ -1,0 +1,137 @@
+"""MTJ device model: switching physics, state machine, inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    MTJ,
+    MTJParams,
+    MTJState,
+    current_for_probability,
+    switching_probability,
+)
+
+
+class TestParams:
+    def test_resistance_from_tmr(self):
+        params = MTJParams(r_p=5e3, tmr=1.5)
+        assert params.r_ap == pytest.approx(12.5e3)
+
+    def test_conductances_reciprocal(self):
+        params = MTJParams()
+        assert params.g_p == pytest.approx(1.0 / params.r_p)
+        assert params.g_ap == pytest.approx(1.0 / params.r_ap)
+
+    def test_g_p_exceeds_g_ap(self):
+        params = MTJParams()
+        assert params.g_p > params.g_ap
+
+
+class TestSwitchingProbability:
+    def test_monotone_in_current(self):
+        params = MTJParams()
+        currents = np.linspace(0.1, 1.2, 30) * params.i_c0
+        probs = [switching_probability(i, params) for i in currents]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_in_pulse_width(self):
+        params = MTJParams()
+        i = 0.8 * params.i_c0
+        p_short = switching_probability(i, params, pulse_width=5e-9)
+        p_long = switching_probability(i, params, pulse_width=50e-9)
+        assert p_long > p_short
+
+    def test_saturates_at_critical_current(self):
+        params = MTJParams()
+        p = switching_probability(2.0 * params.i_c0, params)
+        assert p > 0.99
+
+    def test_lower_delta_switches_easier(self):
+        params = MTJParams()
+        i = 0.7 * params.i_c0
+        p_stable = switching_probability(i, params, delta=60.0)
+        p_weak = switching_probability(i, params, delta=20.0)
+        assert p_weak > p_stable
+
+    def test_vectorized_over_delta(self):
+        params = MTJParams()
+        deltas = np.array([20.0, 40.0, 60.0])
+        probs = switching_probability(0.7 * params.i_c0, params, delta=deltas)
+        assert probs.shape == (3,)
+        assert probs[0] > probs[1] > probs[2]
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_inversion_roundtrip(self, p_target):
+        """current_for_probability inverts switching_probability exactly."""
+        params = MTJParams()
+        current = current_for_probability(p_target, params)
+        p_back = switching_probability(current, params)
+        assert p_back == pytest.approx(p_target, rel=1e-6)
+
+    def test_inversion_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            current_for_probability(0.0, MTJParams())
+        with pytest.raises(ValueError):
+            current_for_probability(1.0, MTJParams())
+
+
+class TestMTJStateMachine:
+    def test_initial_state_resistance(self):
+        mtj = MTJ(state=MTJState.PARALLEL)
+        assert mtj.resistance == pytest.approx(mtj.params.r_p)
+        mtj.state = MTJState.ANTI_PARALLEL
+        assert mtj.resistance == pytest.approx(mtj.params.r_ap)
+
+    def test_deterministic_write(self):
+        mtj = MTJ(rng=np.random.default_rng(0))
+        assert mtj.write(MTJState.ANTI_PARALLEL)
+        assert mtj.state == MTJState.ANTI_PARALLEL
+
+    def test_reset_returns_to_parallel(self):
+        mtj = MTJ(state=MTJState.ANTI_PARALLEL)
+        mtj.reset()
+        assert mtj.state == MTJState.PARALLEL
+
+    def test_stochastic_set_rate(self):
+        """Empirical switch rate tracks the programmed probability."""
+        rng = np.random.default_rng(7)
+        switches = 0
+        trials = 3000
+        for _ in range(trials):
+            mtj = MTJ(rng=rng)
+            if mtj.set_stochastic(0.3):
+                switches += 1
+        assert abs(switches / trials - 0.3) < 0.03
+
+    def test_write_to_same_state_is_noop_success(self):
+        mtj = MTJ(state=MTJState.PARALLEL)
+        assert mtj.write(MTJState.PARALLEL, current=1e-9)
+
+    def test_read_noise_zero_sigma_exact(self):
+        mtj = MTJ()
+        assert mtj.read() == pytest.approx(mtj.params.r_p)
+
+    def test_read_noise_spreads(self):
+        mtj = MTJ(rng=np.random.default_rng(0))
+        reads = [mtj.read(noise_sigma=0.05) for _ in range(100)]
+        assert np.std(reads) > 0
+
+    def test_operation_counters(self):
+        mtj = MTJ(rng=np.random.default_rng(0))
+        mtj.read()
+        mtj.write(MTJState.ANTI_PARALLEL)
+        mtj.reset()
+        assert mtj.reads == 1 and mtj.writes == 2
+
+    def test_per_device_delta_shifts_probability(self):
+        rng = np.random.default_rng(3)
+        weak = MTJ(delta=15.0, rng=rng)
+        trials = 2000
+        switched = sum(
+            MTJ(delta=15.0, rng=rng).set_stochastic(0.2)
+            for _ in range(trials))
+        # Programmed for nominal delta 40, actual delta 15 switches
+        # far more often than 20%.
+        assert switched / trials > 0.35

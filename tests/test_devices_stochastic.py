@@ -1,0 +1,245 @@
+"""Variability, defects, RNG bank and arbiter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    FAULT_NONE,
+    FAULT_STUCK_AP,
+    FAULT_STUCK_P,
+    DefectModel,
+    DefectRates,
+    DeviceVariability,
+    MTJParams,
+    SpintronicArbiter,
+    SpintronicRNG,
+    VariabilityParams,
+    effective_dropout_probabilities,
+    fit_gaussian,
+)
+
+
+class TestVariability:
+    def test_resistance_spread_lognormal(self):
+        var = DeviceVariability(VariabilityParams(sigma_r=0.1),
+                                rng=np.random.default_rng(0))
+        r = var.sample_resistances(5e3, (5000,))
+        assert abs(np.median(r) - 5e3) / 5e3 < 0.05
+        assert r.std() > 0
+
+    def test_zero_sigma_exact(self):
+        var = DeviceVariability(VariabilityParams(sigma_r=0.0))
+        r = var.sample_resistances(5e3, (10,))
+        np.testing.assert_array_equal(r, 5e3)
+
+    def test_delta_positive(self):
+        var = DeviceVariability(VariabilityParams(sigma_delta=0.5),
+                                rng=np.random.default_rng(0))
+        deltas = var.sample_deltas(40.0, (1000,))
+        assert deltas.min() >= 1.0
+
+    def test_temperature_lowers_delta(self):
+        hot = DeviceVariability(temperature=400.0,
+                                rng=np.random.default_rng(0))
+        cold = DeviceVariability(temperature=300.0,
+                                 rng=np.random.default_rng(0))
+        assert (hot.sample_deltas(40.0, (100,)).mean()
+                < cold.sample_deltas(40.0, (100,)).mean())
+
+    def test_perturb_conductances_mean_preserved(self):
+        var = DeviceVariability(VariabilityParams(sigma_r=0.05),
+                                rng=np.random.default_rng(0))
+        g = np.full((100, 100), 2e-4)
+        out = var.perturb_conductances(g)
+        assert abs(out.mean() - 2e-4) / 2e-4 < 0.02
+
+    def test_effective_dropout_probability_spread(self):
+        var = DeviceVariability(VariabilityParams(sigma_delta=0.05),
+                                rng=np.random.default_rng(0))
+        probs = effective_dropout_probabilities(0.3, MTJParams(), var, 500)
+        mu, sigma = fit_gaussian(probs)
+        assert abs(mu - 0.3) < 0.1
+        assert sigma > 0.0
+
+
+class TestDefects:
+    def test_total_rate_validation(self):
+        with pytest.raises(ValueError):
+            DefectModel(DefectRates(stuck_at_p=0.6, stuck_at_ap=0.6))
+
+    def test_fault_map_rates(self):
+        model = DefectModel(DefectRates(stuck_at_p=0.1, stuck_at_ap=0.1),
+                            rng=np.random.default_rng(0))
+        fmap = model.sample_fault_map((200, 200))
+        stats = model.fault_statistics(fmap)
+        assert abs(stats["fault_rate"] - 0.2) < 0.02
+
+    def test_stuck_at_semantics(self):
+        model = DefectModel(DefectRates(stuck_at_p=1.0))
+        weights = np.ones((4, 4))
+        out = model.apply_to_binary_weights(weights)
+        np.testing.assert_array_equal(out, -1.0)   # P stores -1
+
+        model = DefectModel(DefectRates(stuck_at_ap=1.0))
+        out = model.apply_to_binary_weights(-np.ones((4, 4)))
+        np.testing.assert_array_equal(out, 1.0)
+
+    def test_retention_flips_sign(self):
+        model = DefectModel(DefectRates(retention_failure=1.0))
+        weights = np.ones((3, 3))
+        out = model.apply_to_binary_weights(weights)
+        np.testing.assert_array_equal(out, -1.0)
+
+    def test_no_faults_identity(self):
+        model = DefectModel()
+        weights = np.sign(np.random.default_rng(0).standard_normal((5, 5)))
+        weights[weights == 0] = 1.0
+        out = model.apply_to_binary_weights(weights)
+        np.testing.assert_array_equal(out, weights)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            DefectModel().apply_to_binary_weights(np.array([[0.5]]))
+
+    def test_conductance_faults_in_range(self):
+        model = DefectModel(DefectRates(write_failure=1.0),
+                            rng=np.random.default_rng(0))
+        g = np.full((10, 10), 1.5e-4)
+        out = model.apply_to_conductances(g, g_p=2e-4, g_ap=8e-5)
+        assert out.min() >= 8e-5 - 1e-12
+        assert out.max() <= 2e-4 + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=0.3),
+           st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_output_stays_binary(self, p_stuck, p_ret):
+        """Whatever the fault mix, corrupted weights stay in {−1,+1}."""
+        model = DefectModel(
+            DefectRates(stuck_at_p=p_stuck, retention_failure=p_ret),
+            rng=np.random.default_rng(1))
+        weights = np.sign(np.random.default_rng(2).standard_normal((20, 20)))
+        weights[weights == 0] = 1.0
+        out = model.apply_to_binary_weights(weights)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+
+class TestSpintronicRNG:
+    def test_empirical_rate_tracks_target(self):
+        rng = SpintronicRNG(32, p=0.25, rng=np.random.default_rng(0))
+        bits = rng.generate(20000)
+        assert abs(bits.mean() - 0.25) < 0.02
+
+    def test_variability_shifts_rate(self):
+        var = DeviceVariability(VariabilityParams(sigma_delta=0.1),
+                                rng=np.random.default_rng(5))
+        bank = SpintronicRNG(16, p=0.5, variability=var,
+                             rng=np.random.default_rng(5))
+        assert bank.effective_p.std() > 0.0
+
+    def test_calibration_reduces_bias(self):
+        var = DeviceVariability(VariabilityParams(sigma_delta=0.08),
+                                rng=np.random.default_rng(3))
+        bank = SpintronicRNG(64, p=0.5, variability=var,
+                             rng=np.random.default_rng(3))
+        empirical = bank.calibrate(n_samples=4000, tolerance=0.02)
+        assert abs(empirical - 0.5) <= 0.05
+
+    def test_ops_accounting(self):
+        bank = SpintronicRNG(8, p=0.5, rng=np.random.default_rng(0))
+        bank.generate(100)
+        assert bank.set_ops == bank.read_ops == bank.reset_ops == 100
+        assert bank.total_ops == 300
+        bank.reset_counters()
+        assert bank.total_ops == 0
+
+    def test_mask_shape(self):
+        bank = SpintronicRNG(4, p=0.5, rng=np.random.default_rng(0))
+        assert bank.generate_mask((3, 5)).shape == (3, 5)
+
+    def test_cycles_per_mask(self):
+        bank = SpintronicRNG(10, p=0.5)
+        assert bank.cycles_per_mask(25) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SpintronicRNG(0, p=0.5)
+        with pytest.raises(ValueError):
+            SpintronicRNG(4, p=0.0)
+
+
+class TestArbiter:
+    def test_uniform_selection(self):
+        arb = SpintronicArbiter(8, rng=np.random.default_rng(0))
+        dist = arb.empirical_distribution(8000)
+        np.testing.assert_allclose(dist, 1 / 8, atol=0.03)
+
+    def test_non_power_of_two(self):
+        arb = SpintronicArbiter(5, rng=np.random.default_rng(1))
+        dist = arb.empirical_distribution(8000)
+        assert dist.shape == (5,)
+        np.testing.assert_allclose(dist, 1 / 5, atol=0.03)
+
+    def test_weighted_selection(self):
+        weights = [0.7, 0.1, 0.1, 0.1]
+        arb = SpintronicArbiter(4, weights=weights,
+                                rng=np.random.default_rng(2))
+        dist = arb.empirical_distribution(8000)
+        np.testing.assert_allclose(dist, weights, atol=0.03)
+
+    def test_one_hot(self):
+        arb = SpintronicArbiter(4, rng=np.random.default_rng(0))
+        one_hot = arb.select_one_hot()
+        assert one_hot.sum() == 1.0 and one_hot.shape == (4,)
+
+    def test_cycles_per_selection(self):
+        assert SpintronicArbiter(8).cycles_per_selection == 3
+        assert SpintronicArbiter(5).cycles_per_selection == 3
+        assert SpintronicArbiter(2).cycles_per_selection == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpintronicArbiter(1)
+        with pytest.raises(ValueError):
+            SpintronicArbiter(3, weights=[1.0, -0.5, 0.5])
+        with pytest.raises(ValueError):
+            SpintronicArbiter(3, weights=[0.0, 0.0, 0.0])
+
+
+class TestMultiLevelCell:
+    def test_levels_roundtrip(self):
+        from repro.devices import MultiLevelCell
+        cell = MultiLevelCell((4, 4), n_mtjs=4)
+        levels = np.random.default_rng(0).integers(0, 5, (4, 4))
+        cell.program(levels)
+        g = cell.conductances()
+        # More P junctions -> higher conductance.
+        order = np.argsort(levels.reshape(-1))
+        assert g.reshape(-1)[order[-1]] >= g.reshape(-1)[order[0]]
+
+    def test_quantize_decode(self):
+        from repro.devices import MultiLevelCell
+        cell = MultiLevelCell((8, 8), n_mtjs=15)
+        values = np.random.default_rng(1).uniform(-2, 2, (8, 8))
+        levels = cell.quantize_to_levels(values, -2.0, 2.0)
+        decoded = cell.levels_to_values(levels, -2.0, 2.0)
+        assert np.abs(decoded - values).max() <= 4.0 / 15 / 2 + 1e-9
+
+    def test_represented_values_with_variability(self):
+        from repro.devices import MultiLevelCell
+        var = DeviceVariability(VariabilityParams(sigma_r=0.02),
+                                rng=np.random.default_rng(2))
+        cell = MultiLevelCell((6, 6), n_mtjs=7, variability=var,
+                              rng=np.random.default_rng(2))
+        values = np.random.default_rng(3).uniform(0, 1, (6, 6))
+        cell.program(cell.quantize_to_levels(values, 0.0, 1.0))
+        decoded = cell.represented_values(0.0, 1.0)
+        assert np.abs(decoded - values).mean() < 0.15
+
+    def test_program_validation(self):
+        from repro.devices import MultiLevelCell
+        cell = MultiLevelCell((2, 2), n_mtjs=3)
+        with pytest.raises(ValueError):
+            cell.program(np.full((2, 2), 9))
+        with pytest.raises(ValueError):
+            cell.program(np.zeros((3, 3), dtype=int))

@@ -1,0 +1,178 @@
+"""Energy model: pricing, analytic specs, method orderings, storage."""
+
+import numpy as np
+import pytest
+
+from repro.cim import OpLedger
+from repro.energy import (
+    DEFAULT_ENERGY,
+    EnergyParams,
+    dropout_subsystem_energy,
+    forward_pass_ledger,
+    format_energy,
+    lenet_like,
+    method_energy_per_image,
+    method_rng_bits,
+    mlp_spec,
+    price_ledger,
+    render_breakdown,
+    render_table,
+    storage_bits,
+)
+
+
+class TestPricing:
+    def test_price_simple_ledger(self):
+        ledger = OpLedger()
+        ledger.add("adc_conversion", 1000)
+        total, breakdown = price_ledger(ledger)
+        assert total == pytest.approx(1000 * DEFAULT_ENERGY.adc_conversion)
+        assert breakdown == {"adc_conversion": total}
+
+    def test_unknown_op_raises(self):
+        ledger = OpLedger()
+        ledger.add("quantum_flux", 1)
+        with pytest.raises(KeyError):
+            price_ledger(ledger)
+
+    def test_custom_params(self):
+        ledger = OpLedger()
+        ledger.add("rng_cycle", 10)
+        cheap = EnergyParams(rng_cycle=1e-15)
+        total, _ = price_ledger(ledger, cheap)
+        assert total == pytest.approx(1e-14)
+
+
+class TestSpecs:
+    def test_lenet_shapes(self):
+        spec = lenet_like()
+        assert len(spec.layers) == 5
+        assert spec.layers[0].out_positions == 24 * 24
+        assert spec.layers[2].in_features == 256
+
+    def test_mlp_spec(self):
+        spec = mlp_spec(256, (128, 64), 10)
+        assert [l.in_features for l in spec.layers] == [256, 128, 64]
+        assert spec.total_weights == 256 * 128 + 128 * 64 + 64 * 10
+
+    def test_neuron_count(self):
+        spec = mlp_spec(10, (20,), 5)
+        assert spec.total_neurons == 25
+
+    def test_forward_pass_ledger_chunking(self):
+        spec = mlp_spec(300, (), 10)  # 300 rows -> 3 chunks at 128
+        ledger = forward_pass_ledger(spec, max_rows=128)
+        assert ledger["adc_conversion"] == 10 * 3
+
+
+class TestMethodRngBits:
+    def test_spindrop_counts_neurons(self):
+        spec = mlp_spec(256, (128, 64), 10)
+        assert method_rng_bits(spec, "spindrop") == 128 + 64 + 10
+
+    def test_dropconnect_counts_weights(self):
+        spec = mlp_spec(16, (8,), 4)
+        assert method_rng_bits(spec, "mc_dropconnect") == 16 * 8 + 8 * 4
+
+    def test_scaledrop_one_per_layer(self):
+        spec = mlp_spec(256, (128, 64), 10)
+        assert method_rng_bits(spec, "scaledrop") == 3
+
+    def test_affine_two_per_layer(self):
+        spec = mlp_spec(256, (128,), 10)
+        assert method_rng_bits(spec, "affine") == 4
+
+    def test_spinbayes_log_components(self):
+        spec = mlp_spec(256, (128,), 10)
+        assert method_rng_bits(spec, "spinbayes",
+                               spinbayes_components=8) == 2 * 3
+
+    def test_deterministic_zero(self):
+        assert method_rng_bits(lenet_like(), "deterministic") == 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            method_rng_bits(lenet_like(), "mystery")
+
+
+class TestTable1Ordering:
+    """The structural energy claims of Table I and the text."""
+
+    def test_energy_ordering_matches_paper(self):
+        spec = lenet_like()
+        energies = {m: method_energy_per_image(spec, m)[0]
+                    for m in ("spindrop", "spatial", "scaledrop",
+                              "subset_vi", "spinbayes")}
+        # Paper: SpinDrop 2.0 > Spatial 0.68 > Subset 0.30 >
+        #        SpinBayes 0.26 > ScaleDrop 0.18 (µJ).
+        assert energies["spindrop"] > energies["spatial"]
+        assert energies["spatial"] > energies["scaledrop"]
+        assert energies["subset_vi"] > energies["spinbayes"]
+        assert energies["spindrop"] > 3 * energies["scaledrop"]
+
+    def test_spindrop_in_microjoule_band(self):
+        e, _ = method_energy_per_image(lenet_like(), "spindrop")
+        assert 0.5e-6 < e < 5e-6  # paper: 2.0 µJ
+
+    def test_dropconnect_most_expensive(self):
+        spec = lenet_like()
+        e_dc, _ = method_energy_per_image(spec, "mc_dropconnect")
+        e_sd, _ = method_energy_per_image(spec, "spindrop")
+        assert e_dc > e_sd
+
+    def test_deterministic_cheapest(self):
+        spec = lenet_like()
+        e_det, _ = method_energy_per_image(spec, "deterministic")
+        for method in ("spindrop", "spatial", "scaledrop"):
+            assert e_det < method_energy_per_image(spec, method)[0]
+
+    def test_dropout_subsystem_ratio_large(self):
+        """Scale-Dropout vs SpinDrop dropout-energy: >100× (paper)."""
+        spec = lenet_like()
+        ratio = (dropout_subsystem_energy(spec, "spindrop")
+                 / dropout_subsystem_energy(spec, "scaledrop"))
+        assert ratio > 100.0
+
+    def test_more_mc_passes_cost_more(self):
+        spec = lenet_like()
+        e10, _ = method_energy_per_image(spec, "spindrop", n_mc_passes=10)
+        e50, _ = method_energy_per_image(spec, "spindrop", n_mc_passes=50)
+        assert e50 == pytest.approx(5 * e10, rel=0.01)
+
+
+class TestStorage:
+    def test_conventional_vi_dominates(self):
+        spec = lenet_like()
+        conventional = storage_bits(spec, "conventional_vi")
+        subset = storage_bits(spec, "subset_vi")
+        assert conventional / subset > 20.0
+
+    def test_ensemble_multiplies(self):
+        spec = lenet_like()
+        single = storage_bits(spec, "deterministic")
+        ensemble = storage_bits(spec, "ensemble")
+        assert ensemble > 4 * single
+
+    def test_spinbayes_scales_with_components(self):
+        spec = lenet_like()
+        small = storage_bits(spec, "spinbayes", spinbayes_components=2)
+        large = storage_bits(spec, "spinbayes", spinbayes_components=16)
+        assert large > small
+
+
+class TestRendering:
+    def test_format_energy_prefixes(self):
+        assert format_energy(2e-6) == "2.00 µJ"
+        assert format_energy(3.5e-9) == "3.50 nJ"
+        assert format_energy(0.0) == "0 J"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_render_breakdown_sorted(self):
+        out = render_breakdown({"small": 1e-12, "big": 1e-9})
+        lines = out.splitlines()
+        assert "big" in lines[2]  # largest first after header+sep

@@ -1,0 +1,172 @@
+"""Experiment harnesses (fast settings) and end-to-end integration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.claims import (
+    run_c2_spatial,
+    run_c5_subset_vi,
+)
+from repro.experiments.figures import (
+    arbiter_statistics,
+    mapping_equivalence_check,
+    run_fig1_mapping,
+)
+from repro.experiments.ablations import (
+    mapping_utilization,
+    rng_scaling,
+)
+from repro.experiments.common import (
+    TrainConfig,
+    digits_dataset,
+    train_classifier,
+)
+
+
+class TestStructuralExperiments:
+    """Experiments that need no training — always exact."""
+
+    def test_c2_module_reduction_band(self):
+        claims = run_c2_spatial()
+        # Paper reports 9× for its topology; any CNN should give a
+        # large (>5×) reduction because neurons ≫ feature maps.
+        assert claims.module_reduction > 5.0
+        assert claims.dropout_energy_ratio == pytest.approx(
+            claims.module_reduction, rel=0.01)
+        # Paper: Spatial-SpinDrop 2.94× more energy-efficient overall.
+        assert claims.total_energy_ratio > 2.0
+
+    def test_fig1_reports_both_strategies(self):
+        reports = run_fig1_mapping()
+        assert len(reports["strategy1"]) == len(reports["strategy2"]) == 3
+        for r1, r2 in zip(reports["strategy1"], reports["strategy2"]):
+            assert r2.n_crossbars >= r1.n_crossbars  # tiled grid is many
+            assert r1.dropout_modules == r2.dropout_modules
+
+    def test_mapping_equivalence(self):
+        residual = mapping_equivalence_check(seed=0)
+        assert residual <= 2.0  # within coarse-ADC resolution
+
+    def test_arbiter_statistics(self):
+        stats = arbiter_statistics(n_choices=8, n_draws=4096, seed=0)
+        assert stats["cycles_per_selection"] == 3
+        assert stats["max_abs_deviation"] < 0.05
+        assert stats["entropy_bits"] > 2.9  # close to log2(8) = 3
+
+    def test_rng_scaling_orderings(self):
+        scaling = rng_scaling(widths=(64, 256))
+        # DropConnect >> SpinDrop >> ScaleDrop at every width.
+        for i in range(2):
+            assert (scaling["mc_dropconnect"][i] > scaling["spindrop"][i]
+                    > scaling["scaledrop"][i])
+        # Scale/affine dropout are width-independent.
+        assert scaling["scaledrop"][0] == scaling["scaledrop"][1]
+        assert scaling["affine"][0] == scaling["affine"][1]
+
+    def test_mapping_utilization_rows(self):
+        rows = mapping_utilization(kernel_sizes=(3,),
+                                   channels=((8, 16),))
+        assert rows[0]["s2_utilization"] == pytest.approx(1.0)
+        assert 0 < rows[0]["s1_utilization"] <= 1.0
+
+
+class TestTrainedExperiments:
+    """Tiny-budget versions of the trained experiments."""
+
+    def test_c5_subset_vi_shapes(self):
+        claims = run_c5_subset_vi(fast=True, seed=0)
+        assert claims.nll_shifted > claims.nll_in_distribution
+        assert claims.memory_ratio > 10.0
+        assert claims.power_ratio > 5.0
+        assert 0.0 < claims.bayesian_fraction < 0.05
+
+    def test_train_classifier_improves_over_chance(self):
+        data = digits_dataset(n_samples=1200, seed=11)
+        from repro.bayesian import make_binary_mlp, deterministic_predict
+        model = make_binary_mlp(data.n_features, (64,), data.n_classes,
+                                seed=11)
+        train_classifier(model, data, TrainConfig(epochs=8, mc_samples=4))
+        probs = deterministic_predict(model, data.x_test)
+        acc = (probs.argmax(-1) == data.y_test).mean()
+        assert acc > 0.5  # chance is 0.1
+
+
+class TestEndToEnd:
+    def test_full_pipeline_spindrop(self):
+        """Train → MC predict → deploy → MC predict on hardware →
+        energy accounting, in one flow."""
+        from repro.bayesian import BayesianCim, make_spindrop_mlp, mc_predict
+        from repro.cim import CimConfig
+        from repro.devices import DeviceVariability, VariabilityParams
+        from repro.energy import price_ledger
+
+        data = digits_dataset(n_samples=1200, seed=21)
+        model = make_spindrop_mlp(data.n_features, (64,), data.n_classes,
+                                  p=0.15, seed=21)
+        train_classifier(model, data, TrainConfig(epochs=8, mc_samples=6))
+
+        sw = mc_predict(model, data.x_test, n_samples=6)
+        sw_acc = (sw.predictions == data.y_test).mean()
+        assert sw_acc > 0.5
+
+        variability = DeviceVariability(
+            VariabilityParams(sigma_r=0.03, sigma_read=0.01),
+            rng=np.random.default_rng(0))
+        deployed = BayesianCim(model, CimConfig(variability=variability,
+                                                seed=0))
+        hw = deployed.mc_forward(data.x_test[:60], n_samples=6)
+        hw_acc = (hw.predictions == data.y_test[:60]).mean()
+        assert hw_acc > sw_acc - 0.25
+
+        joules, breakdown = price_ledger(deployed.ledger)
+        assert joules > 0
+        assert breakdown["rng_cycle"] > 0
+        assert breakdown["adc_conversion"] > 0
+
+    def test_save_load_then_deploy(self, tmp_path):
+        """A trained model survives serialization and redeployment."""
+        from repro.bayesian import (BayesianCim, make_scaledrop_mlp,
+                                    mc_predict)
+        from repro.cim import CimConfig
+
+        data = digits_dataset(n_samples=400, seed=31)
+        model = make_scaledrop_mlp(data.n_features, (24,), data.n_classes,
+                                   seed=31)
+        train_classifier(model, data, TrainConfig(epochs=3, mc_samples=4))
+        path = str(tmp_path / "scaledrop.npz")
+        model.save(path)
+
+        clone = make_scaledrop_mlp(data.n_features, (24,), data.n_classes,
+                                   seed=99)
+        clone.load(path)
+        a = BayesianCim(model, CimConfig(adc_bits=10, seed=1))
+        b = BayesianCim(clone, CimConfig(adc_bits=10, seed=1))
+        x = data.x_test[:10]
+        np.testing.assert_allclose(a.deterministic_forward(x),
+                                   b.deterministic_forward(x), atol=1e-9)
+
+    def test_defect_injection_degrades_gracefully(self):
+        """Accuracy decreases with defect rate but stays above chance
+        at moderate rates (robustness, key takeaway #8)."""
+        from repro.bayesian import BayesianCim, make_spindrop_mlp
+        from repro.cim import CimConfig
+        from repro.devices import DefectModel, DefectRates
+
+        data = digits_dataset(n_samples=600, seed=41)
+        model = make_spindrop_mlp(data.n_features, (32,), data.n_classes,
+                                  p=0.15, seed=41)
+        train_classifier(model, data, TrainConfig(epochs=5, mc_samples=6))
+        x, y = data.x_test[:80], data.y_test[:80]
+
+        accs = []
+        for rate in (0.0, 0.3):
+            defects = None
+            if rate:
+                defects = DefectModel(
+                    DefectRates(stuck_at_p=rate / 2, stuck_at_ap=rate / 2),
+                    rng=np.random.default_rng(5))
+            deployed = BayesianCim(model, CimConfig(defects=defects, seed=5))
+            result = deployed.mc_forward(x, n_samples=6)
+            accs.append((result.predictions == y).mean())
+        assert accs[0] >= accs[1]  # faults do not help
+        assert accs[0] > 0.4

@@ -1,0 +1,116 @@
+"""Binary layers: ±1 weights, STE, scales, latent clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+class TestBinaryLinear:
+    def test_binary_weight_values(self):
+        layer = nn.BinaryLinear(6, 4, rng=RNG)
+        assert set(np.unique(layer.binary_weight().data)) <= {-1.0, 1.0}
+
+    def test_forward_uses_binarized_weights(self):
+        layer = nn.BinaryLinear(3, 2, scale=False, bias=False, rng=RNG)
+        x = RNG.standard_normal((4, 3))
+        expected = x @ np.where(layer.weight.data >= 0, 1.0, -1.0).T
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_scale_applies_per_output(self):
+        layer = nn.BinaryLinear(3, 2, bias=False, rng=RNG)
+        layer.scale.data[:] = [2.0, 3.0]
+        x = np.ones((1, 3))
+        base = x @ np.where(layer.weight.data >= 0, 1.0, -1.0).T
+        np.testing.assert_allclose(layer(Tensor(x)).data,
+                                   base * [2.0, 3.0])
+
+    def test_binarize_input(self):
+        layer = nn.BinaryLinear(3, 2, scale=False, bias=False,
+                                binarize_input=True, rng=RNG)
+        x = np.array([[0.3, -0.7, 2.0]])
+        expected_input = np.array([[1.0, -1.0, 1.0]])
+        w = np.where(layer.weight.data >= 0, 1.0, -1.0)
+        np.testing.assert_allclose(layer(Tensor(x)).data,
+                                   expected_input @ w.T)
+
+    def test_gradient_flows_to_latent_weights(self):
+        layer = nn.BinaryLinear(4, 3, rng=RNG)
+        layer(Tensor(RNG.standard_normal((2, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+    def test_training_learns_majority_rule(self):
+        """STE training fits a majority-vote rule to high accuracy."""
+        rng = np.random.default_rng(0)
+        x = rng.choice([-1.0, 1.0], size=(256, 9))
+        y = (x[:, :5].sum(axis=1) > 0).astype(int)
+        model = nn.Sequential(
+            nn.BinaryLinear(9, 32, rng=rng), nn.BatchNorm1d(32),
+            nn.SignActivation(), nn.BinaryLinear(32, 2, rng=rng))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        for _ in range(200):
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            nn.clip_latent_weights(model)
+        acc = nn.accuracy(model(Tensor(x)).data, y)
+        assert acc > 0.9
+
+
+class TestBinaryConv2d:
+    def test_binary_kernel_values(self):
+        conv = nn.BinaryConv2d(2, 4, 3, rng=RNG)
+        assert set(np.unique(conv.binary_weight().data)) <= {-1.0, 1.0}
+
+    def test_output_shape(self):
+        conv = nn.BinaryConv2d(2, 4, 3, padding=1, rng=RNG)
+        out = conv(Tensor(RNG.standard_normal((2, 2, 8, 8))))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_channel_scale_shape(self):
+        conv = nn.BinaryConv2d(1, 3, 3, rng=RNG)
+        assert conv.scale.data.shape == (3,)
+
+    def test_matches_conv_with_sign_weights(self):
+        conv = nn.BinaryConv2d(1, 2, 3, scale=False, bias=False, rng=RNG)
+        x = RNG.standard_normal((1, 1, 5, 5))
+        from repro.tensor import functional as F
+        signw = np.where(conv.weight.data >= 0, 1.0, -1.0)
+        expected = F.conv2d(Tensor(x), Tensor(signw)).data
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected)
+
+
+class TestClipLatentWeights:
+    def test_clips_into_bound(self):
+        layer = nn.BinaryLinear(4, 4, rng=RNG)
+        layer.weight.data *= 100.0
+        nn.clip_latent_weights(layer, bound=1.0)
+        assert np.abs(layer.weight.data).max() <= 1.0
+
+    def test_ignores_non_binary_layers(self):
+        model = nn.Sequential(nn.Linear(4, 4, rng=RNG))
+        model[0].weight.data *= 100.0
+        nn.clip_latent_weights(model)
+        assert np.abs(model[0].weight.data).max() > 1.0
+
+    def test_recurses_into_sequential(self):
+        model = nn.Sequential(nn.BinaryLinear(4, 4, rng=RNG))
+        model[0].weight.data *= 100.0
+        nn.clip_latent_weights(model)
+        assert np.abs(model[0].weight.data).max() <= 1.0
+
+
+class TestSignActivationModule:
+    def test_forward_binary(self):
+        out = nn.SignActivation()(Tensor(RNG.standard_normal((4, 5))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_ste_gradient(self):
+        x = Tensor(np.array([[0.5, -3.0]]), requires_grad=True)
+        nn.SignActivation()(x).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[1.0, 0.0]])

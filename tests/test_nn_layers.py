@@ -1,0 +1,196 @@
+"""Standard layers: shapes, statistics, modes, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 5, rng=RNG)
+        assert layer(Tensor(RNG.standard_normal((4, 8)))).shape == (4, 5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(8, 5, bias=False, rng=RNG)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 8))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_gradients_reach_parameters(self):
+        layer = nn.Linear(4, 3, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((2, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2, rng=RNG)
+        x = RNG.standard_normal((5, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+
+class TestConv2d:
+    def test_output_shape_padding(self):
+        conv = nn.Conv2d(3, 8, 3, padding=1, rng=RNG)
+        out = conv(Tensor(RNG.standard_normal((2, 3, 10, 10))))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_output_shape_stride(self):
+        conv = nn.Conv2d(1, 4, 3, stride=2, rng=RNG)
+        out = conv(Tensor(RNG.standard_normal((1, 1, 9, 9))))
+        assert out.shape == (1, 4, 4, 4)
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        bn = nn.BatchNorm1d(6)
+        x = RNG.standard_normal((64, 6)) * 5 + 3
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = nn.BatchNorm1d(4, momentum=0.5)
+        x = RNG.standard_normal((32, 4)) + 10.0
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(4)
+        for _ in range(20):
+            bn(Tensor(RNG.standard_normal((32, 4)) * 2 + 1))
+        bn.eval()
+        x = RNG.standard_normal((8, 4))
+        out1 = bn(Tensor(x)).data
+        out2 = bn(Tensor(x)).data
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_batchnorm2d_axes(self):
+        bn = nn.BatchNorm2d(3)
+        x = RNG.standard_normal((4, 3, 5, 5)) + 2.0
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_affine_parameters_trainable(self):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(RNG.standard_normal((8, 4))))
+        out.sum().backward()
+        assert bn.gamma.grad is not None and bn.beta.grad is not None
+
+
+class TestPoolingAndShape:
+    def test_maxpool_module(self):
+        out = nn.MaxPool2d(2)(Tensor(RNG.standard_normal((1, 2, 8, 8))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avgpool_module(self):
+        x = np.ones((1, 1, 4, 4))
+        out = nn.AvgPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(RNG.standard_normal((3, 2, 4, 4))))
+        assert out.shape == (3, 32)
+
+
+class TestDropout:
+    def test_train_mode_drops(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((10, 100)))).data
+        assert (out == 0).any()
+
+    def test_eval_mode_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = np.ones((4, 8))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_inverted_scaling(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100)))).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestSequentialAndModule:
+    def _model(self):
+        return nn.Sequential(nn.Linear(8, 16, rng=RNG), nn.ReLU(),
+                             nn.Linear(16, 4, rng=RNG))
+
+    def test_forward_chain(self):
+        model = self._model()
+        assert model(Tensor(RNG.standard_normal((2, 8)))).shape == (2, 4)
+
+    def test_iteration_and_indexing(self):
+        model = self._model()
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_named_parameters_unique(self):
+        model = self._model()
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_num_parameters(self):
+        model = self._model()
+        assert model.num_parameters() == 8 * 16 + 16 + 16 * 4 + 4
+
+    def test_train_eval_propagates(self):
+        model = self._model()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = self._model()
+        model(Tensor(RNG.standard_normal((2, 8)))).sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(4, 8, rng=RNG), nn.BatchNorm1d(8),
+                              nn.ReLU(), nn.Linear(8, 2, rng=RNG))
+        model(Tensor(RNG.standard_normal((16, 4))))  # update running stats
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+
+        clone = nn.Sequential(nn.Linear(4, 8, rng=RNG), nn.BatchNorm1d(8),
+                              nn.ReLU(), nn.Linear(8, 2, rng=RNG))
+        clone.load(path)
+        x = RNG.standard_normal((3, 4))
+        model.eval()
+        clone.eval()
+        with no_grad():
+            np.testing.assert_allclose(model(Tensor(x)).data,
+                                       clone(Tensor(x)).data)
+
+    def test_load_shape_mismatch_raises(self):
+        a = nn.Linear(4, 8, rng=RNG)
+        b = nn.Linear(4, 9, rng=RNG)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_load_unknown_key_raises(self):
+        a = nn.Linear(4, 8, rng=RNG)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_buffers_serialized(self):
+        bn = nn.BatchNorm1d(4)
+        bn(Tensor(RNG.standard_normal((32, 4)) + 5.0))
+        state = bn.state_dict()
+        assert "buffer::running_mean" in state

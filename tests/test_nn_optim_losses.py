@@ -1,0 +1,144 @@
+"""Optimizers, schedulers and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, functional as F
+
+
+def _quadratic_min(optimizer_cls, steps=250, **kwargs):
+    """Minimize ||x - t||² and return the final distance to t."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = Parameter(np.zeros(3))
+    opt = optimizer_cls([x], **kwargs)
+    for _ in range(steps):
+        diff = x - Tensor(target)
+        loss = (diff * diff).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestSGD:
+    def test_converges(self):
+        assert _quadratic_min(nn.SGD, lr=0.1) < 1e-6
+
+    def test_momentum_converges(self):
+        assert _quadratic_min(nn.SGD, lr=0.05, momentum=0.9) < 1e-4
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([10.0]))
+        opt = nn.SGD([x], lr=0.1, weight_decay=1.0)
+        x.grad = np.array([0.0])
+        opt.step()
+        assert x.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        x = Parameter(np.array([1.0]))
+        opt = nn.SGD([x], lr=0.1)
+        opt.step()  # no grad -> no change, no crash
+        assert x.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        assert _quadratic_min(nn.Adam, lr=0.05) < 1e-4
+
+    def test_bias_correction_first_step(self):
+        """First Adam step must be ≈ lr in magnitude, not lr·(1−β1)."""
+        x = Parameter(np.array([0.0]))
+        opt = nn.Adam([x], lr=0.1)
+        x.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(abs(x.data[0]), 0.1, rtol=1e-5)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        x = Parameter(np.zeros(1))
+        opt = nn.SGD([x], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1)
+
+    def test_cosine_lr_endpoints(self):
+        x = Parameter(np.zeros(1))
+        opt = nn.SGD([x], lr=1.0)
+        sched = nn.CosineLR(opt, t_max=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        x = Parameter(np.zeros(1))
+        opt = nn.SGD([x], lr=1.0)
+        sched = nn.CosineLR(opt, t_max=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = nn.cross_entropy(logits, np.zeros(4, dtype=int))
+        np.testing.assert_allclose(float(loss.data), np.log(10), rtol=1e-10)
+
+    def test_mse_value(self):
+        loss = nn.mse(Tensor([[1.0], [3.0]]), np.array([[0.0], [0.0]]))
+        np.testing.assert_allclose(float(loss.data), 5.0)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_scale_regularizer_zero_at_center(self):
+        s = Parameter(np.ones(8))
+        loss = nn.scale_regularizer([s], strength=1.0)
+        np.testing.assert_allclose(float(loss.data), 0.0)
+
+    def test_scale_regularizer_penalizes_negative(self):
+        pos = nn.scale_regularizer([Parameter(np.full(4, 2.0))],
+                                   strength=1.0)
+        neg = nn.scale_regularizer([Parameter(np.full(4, -2.0))],
+                                   strength=1.0)
+        assert float(neg.data) > float(pos.data)
+
+    def test_scale_regularizer_empty(self):
+        assert float(nn.scale_regularizer([]).data) == 0.0
+
+    def test_gaussian_kl_zero_at_prior(self):
+        mu = Parameter(np.full(6, 1.0))
+        log_sigma = Parameter(np.full(6, np.log(0.1)))
+        kl = nn.gaussian_kl(mu, log_sigma, prior_mu=1.0, prior_sigma=0.1)
+        np.testing.assert_allclose(float(kl.data), 0.0, atol=1e-10)
+
+    def test_gaussian_kl_positive_off_prior(self):
+        mu = Parameter(np.full(6, 2.0))
+        log_sigma = Parameter(np.full(6, np.log(0.1)))
+        kl = nn.gaussian_kl(mu, log_sigma, prior_mu=1.0, prior_sigma=0.1)
+        assert float(kl.data) > 0.0
+
+    def test_gaussian_kl_grad_direction(self):
+        """Gradient pulls mu toward the prior mean."""
+        mu = Parameter(np.full(3, 2.0))
+        log_sigma = Parameter(np.full(3, -2.0))
+        nn.gaussian_kl(mu, log_sigma).backward()
+        assert np.all(mu.grad > 0)  # decreasing mu decreases KL
+
+    def test_nll_from_probs(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        val = nn.losses.nll_from_probs(probs, np.array([0, 1]))
+        expected = -(np.log(0.9) + np.log(0.8)) / 2
+        np.testing.assert_allclose(val, expected)

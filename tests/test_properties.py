@@ -1,0 +1,160 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* valid input, spanning the autograd
+engine, the crossbar/ADC chain, the device models and the uncertainty
+metrics.  These complement the example-based unit tests with
+generative coverage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cim import OpLedger, PopcountADC, XnorCrossbar
+from repro.devices import MTJParams, SpintronicRNG, switching_probability
+from repro.tensor import Tensor, functional as F
+from repro.uncertainty import predictive_entropy, auroc
+
+
+small_dims = st.integers(min_value=1, max_value=8)
+
+
+class TestAutogradProperties:
+    @given(small_dims, small_dims, small_dims)
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_shape_contract(self, n, k, m):
+        rng = np.random.default_rng(n * 100 + k * 10 + m)
+        a = Tensor(rng.standard_normal((n, k)))
+        b = Tensor(rng.standard_normal((k, m)))
+        assert F.matmul(a, b).shape == (n, m)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        probs = F.softmax(Tensor(np.array([values]))).data
+        assert probs.min() >= 0.0
+        np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-9)
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5),
+                    min_size=2, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_sign_ste_output_binary(self, values):
+        out = F.sign_ste(Tensor(np.array(values))).data
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_then_backward_gives_ones(self, n, m):
+        x = Tensor(np.random.default_rng(n + m).standard_normal((n, m)),
+                   requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((n, m)))
+
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_gradient_linearity(self, n, seed):
+        """grad of (a·f) is a·(grad of f) for scalar a."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, n))
+        x1 = Tensor(data.copy(), requires_grad=True)
+        (F.tanh(x1).sum() * 3.0).backward()
+        x2 = Tensor(data.copy(), requires_grad=True)
+        F.tanh(x2).sum().backward()
+        np.testing.assert_allclose(x1.grad, 3.0 * x2.grad, rtol=1e-10)
+
+
+class TestCrossbarProperties:
+    @given(st.integers(min_value=1, max_value=24),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_ideal_xnor_mac_always_exact(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        w = np.sign(rng.standard_normal((rows, cols)))
+        w[w == 0] = 1.0
+        bar = XnorCrossbar(rows, cols)
+        bar.program(w)
+        x = np.sign(rng.standard_normal((3, rows)))
+        x[x == 0] = 1.0
+        np.testing.assert_allclose(bar.matvec(x), x @ w, atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=24),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_mac_parity_invariant(self, rows, seed):
+        """XNOR MAC over n active ±1 rows has the same parity as n."""
+        rng = np.random.default_rng(seed)
+        w = np.sign(rng.standard_normal((rows, 4)))
+        w[w == 0] = 1.0
+        bar = XnorCrossbar(rows, 4)
+        bar.program(w)
+        x = np.sign(rng.standard_normal((1, rows)))
+        x[x == 0] = 1.0
+        mac = np.rint(bar.matvec(x)).astype(int)
+        assert np.all((mac - rows) % 2 == 0)
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_popcount_adc_idempotent(self, bits, rows):
+        """Converting an already-converted value changes nothing."""
+        adc = PopcountADC(bits=bits, rows=rows, ledger=OpLedger())
+        values = np.linspace(-rows, rows, 17)
+        once = adc.convert(values)
+        twice = adc.convert(once)
+        np.testing.assert_allclose(once, twice)
+
+    @given(st.integers(min_value=6, max_value=12),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_popcount_adc_exact_when_enough_bits(self, bits, rows):
+        if 2 ** bits - 1 < 2 * rows:
+            return
+        adc = PopcountADC(bits=bits, rows=rows, ledger=OpLedger())
+        integers = np.arange(-rows, rows + 1, dtype=float)
+        np.testing.assert_allclose(adc.convert(integers), integers)
+
+
+class TestDeviceProperties:
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=10.0, max_value=80.0))
+    @settings(max_examples=25, deadline=None)
+    def test_switching_probability_bounded(self, i_ratio, delta):
+        params = MTJParams(delta=delta)
+        p = switching_probability(i_ratio * params.i_c0, params)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_rng_bits_are_binary(self, n_modules, p):
+        bank = SpintronicRNG(n_modules, p=p,
+                             rng=np.random.default_rng(0))
+        bits = bank.generate(100)
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+
+class TestUncertaintyProperties:
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_entropy_invariant_to_class_permutation(self, c, n):
+        rng = np.random.default_rng(c * 100 + n)
+        probs = rng.dirichlet(np.ones(c), size=n)
+        permuted = probs[:, rng.permutation(c)]
+        np.testing.assert_allclose(predictive_entropy(probs),
+                                   predictive_entropy(permuted),
+                                   rtol=1e-10)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_auroc_shift_invariant(self, shift):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(200)
+        b = rng.standard_normal(200) + 1.0
+        base = auroc(a, b)
+        shifted = auroc(a + shift, b + shift)
+        np.testing.assert_allclose(base, shifted, rtol=1e-9)

@@ -1,0 +1,146 @@
+"""Retention aging, calibration comparison, deployment folding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bayesian import make_scaledrop_mlp
+from repro.cim import (
+    CimConfig,
+    DigitalScale,
+    FrozenNorm,
+    OpLedger,
+    compile_to_cim,
+    fold_norm_into_scale,
+)
+from repro.cim.optimize import FoldedAffine
+from repro.devices import DefectModel, DeviceVariability, VariabilityParams
+from repro.experiments.ablations import calibration_comparison, retention_aging
+from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
+
+
+class TestRetentionModel:
+    def test_flip_probability_bounds(self):
+        model = DefectModel()
+        assert model.retention_flip_probability(0.0) == 0.0
+        p = model.retention_flip_probability(1e9, delta=40.0)
+        assert 0.0 < p < 1.0
+
+    def test_flip_probability_monotone_in_time(self):
+        model = DefectModel()
+        p1 = model.retention_flip_probability(1e6, delta=40.0)
+        p2 = model.retention_flip_probability(1e8, delta=40.0)
+        assert p2 > p1
+
+    def test_higher_delta_retains_longer(self):
+        model = DefectModel()
+        weak = model.retention_flip_probability(1e8, delta=35.0)
+        strong = model.retention_flip_probability(1e8, delta=45.0)
+        assert weak > strong
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            DefectModel().retention_flip_probability(-1.0)
+
+    def test_aging_flips_weak_devices_first(self):
+        rng = np.random.default_rng(0)
+        model = DefectModel(rng=rng)
+        weights = np.ones((64, 64))
+        deltas = np.full((64, 64), 60.0)
+        deltas[:8] = 35.0       # weak rows
+        aged = model.age_binary_weights(weights, 3.15e7, deltas=deltas)
+        weak_flips = (aged[:8] == -1.0).mean()
+        strong_flips = (aged[8:] == -1.0).mean()
+        assert weak_flips > 0.5
+        assert strong_flips < 0.01
+
+    def test_aging_preserves_binary(self):
+        model = DefectModel(rng=np.random.default_rng(1))
+        w = np.sign(np.random.default_rng(2).standard_normal((10, 10)))
+        w[w == 0] = 1.0
+        aged = model.age_binary_weights(w, 1e8)
+        assert set(np.unique(aged)) <= {-1.0, 1.0}
+
+    def test_experiment_accuracy_decays(self):
+        results = retention_aging(fast=True, seed=0,
+                                  ages_years=(0.0, 10.0))
+        assert results[0]["flipped_fraction"] == 0.0
+        assert results[1]["flipped_fraction"] > 0.0
+        assert results[1]["accuracy"] <= results[0]["accuracy"] + 0.05
+
+
+class TestCalibrationComparison:
+    def test_structure_and_bayesian_improvement(self):
+        results = calibration_comparison(fast=True, seed=0)
+        assert set(results) == {"deterministic", "spindrop", "scaledrop",
+                                "subset_vi"}
+        for metrics in results.values():
+            assert 0.0 <= metrics["ece"] <= 1.0
+            assert metrics["nll"] >= 0.0
+        # At least one Bayesian method must calibrate better than the
+        # deterministic baseline (the uncertainty-quality claim).
+        det_ece = results["deterministic"]["ece"]
+        assert min(results["spindrop"]["ece"],
+                   results["subset_vi"]["ece"]) < det_ece
+
+
+class TestFolding:
+    def _scaledrop_net(self, seed=0):
+        data = digits_dataset(n_samples=500, seed=71)
+        model = train_classifier(
+            make_scaledrop_mlp(data.n_features, (24,), data.n_classes,
+                               seed=71),
+            data, TrainConfig(epochs=2, mc_samples=2))
+        return compile_to_cim(model, CimConfig(adc_bits=10, seed=seed)), data
+
+    def test_fold_preserves_output_exactly(self):
+        net, data = self._scaledrop_net()
+        x = data.x_test[:10]
+        before = net.forward(x)
+        n_folds = fold_norm_into_scale(net)
+        after = net.forward(x)
+        assert n_folds == 1
+        np.testing.assert_allclose(before, after, atol=1e-12)
+
+    def test_fold_reduces_digital_macs(self):
+        net, data = self._scaledrop_net()
+        x = data.x_test[:10]
+        net.ledger.reset()
+        net.forward(x)
+        macs_before = net.ledger["digital_mac"]
+        fold_norm_into_scale(net)
+        net.ledger.reset()
+        net.forward(x)
+        assert net.ledger["digital_mac"] < macs_before
+
+    def test_fold_replaces_stage_types(self):
+        net, _ = self._scaledrop_net()
+        fold_norm_into_scale(net)
+        kinds = [type(s).__name__ for s in net.stages]
+        assert "FoldedAffine" in kinds
+
+    def test_stochastic_pairs_not_folded(self):
+        """A DigitalScale with a live multiplier must stay unfolded."""
+        net, _ = self._scaledrop_net()
+        for stage in net.stages:
+            if isinstance(stage, DigitalScale):
+                stage.multiplier = 0.5   # simulating a live binding
+        assert fold_norm_into_scale(net) == 0
+
+    def test_inverted_norm_not_folded(self):
+        ledger = OpLedger()
+        scale = DigitalScale(np.ones(4), spatial=False, ledger=ledger)
+        norm = FrozenNorm(np.zeros(4), np.ones(4), np.ones(4),
+                          np.zeros(4), 1e-5, spatial=False,
+                          inverted=True, ledger=ledger)
+        from repro.cim.layers import CimNetwork
+
+        net = CimNetwork([scale, norm], ledger, CimConfig(seed=0))
+        assert fold_norm_into_scale(net) == 0
+
+    def test_folded_affine_math(self):
+        ledger = OpLedger()
+        affine = FoldedAffine(np.array([2.0, 3.0]), np.array([1.0, -1.0]),
+                              spatial=False, ledger=ledger)
+        out = affine.forward(np.ones((1, 2)))
+        np.testing.assert_allclose(out, [[3.0, 2.0]])

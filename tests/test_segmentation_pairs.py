@@ -1,0 +1,184 @@
+"""Segmentation pipeline, 100-class dataset, upsampling, IoU."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bayesian import (
+    Upsample2d,
+    make_bayesian_segmenter,
+    mc_segment,
+    pixel_maps,
+    segmentation_loss,
+)
+from repro.data import (
+    N_SEG_CLASSES,
+    class_frequencies,
+    segmentation_scenes,
+    synth_pairs,
+)
+from repro.tensor import Tensor, functional as F, gradcheck
+from repro.uncertainty import mean_iou
+
+RNG = np.random.default_rng(29)
+
+
+class TestUpsample:
+    def test_shape(self):
+        out = F.upsample2d(Tensor(RNG.standard_normal((2, 3, 4, 4))), 2)
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_values_repeat(self):
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        out = F.upsample2d(Tensor(x), 2).data
+        np.testing.assert_array_equal(
+            out[0, 0], [[0, 0, 1, 1], [0, 0, 1, 1],
+                        [2, 2, 3, 3], [2, 2, 3, 3]])
+
+    def test_gradient(self):
+        x = Tensor(RNG.standard_normal((1, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(lambda x: F.upsample2d(x, 2), [x], atol=1e-4)
+
+    def test_factor_one_identity(self):
+        x = RNG.standard_normal((1, 1, 3, 3))
+        np.testing.assert_array_equal(
+            F.upsample2d(Tensor(x), 1).data, x)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            F.upsample2d(Tensor(np.zeros((2, 3))), 2)
+
+    def test_module_wrapper(self):
+        out = Upsample2d(2)(Tensor(RNG.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 2, 8, 8)
+
+
+class TestSegmentationData:
+    def test_shapes_and_ranges(self):
+        x, m = segmentation_scenes(20, size=16, seed=0)
+        assert x.shape == (20, 1, 16, 16)
+        assert m.shape == (20, 16, 16)
+        assert x.min() >= -1.0 and x.max() <= 1.0
+        assert set(np.unique(m)) <= {0, 1, 2}
+
+    def test_all_classes_appear(self):
+        _, m = segmentation_scenes(100, seed=0)
+        assert set(np.unique(m)) == {0, 1, 2}
+
+    def test_background_dominates(self):
+        _, m = segmentation_scenes(50, seed=0)
+        freqs = class_frequencies(m)
+        assert freqs[0] > 0.5
+        np.testing.assert_allclose(freqs.sum(), 1.0)
+
+    def test_ood_scenes_lack_bars(self):
+        _, m = segmentation_scenes(50, seed=0, ood_objects=True)
+        assert 2 not in np.unique(m)  # triangles labelled as class 1
+
+    def test_deterministic(self):
+        a, ma = segmentation_scenes(5, seed=3)
+        b, mb = segmentation_scenes(5, seed=3)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ma, mb)
+
+
+class TestMeanIou:
+    def test_perfect_prediction(self):
+        m = RNG.integers(0, 3, (4, 8, 8))
+        assert mean_iou(m, m, 3) == pytest.approx(1.0)
+
+    def test_disjoint_prediction(self):
+        target = np.zeros((2, 4, 4), dtype=int)
+        pred = np.ones((2, 4, 4), dtype=int)
+        assert mean_iou(pred, target, 3) == pytest.approx(0.0)
+
+    def test_absent_class_skipped(self):
+        target = np.zeros((1, 4, 4), dtype=int)
+        pred = np.zeros((1, 4, 4), dtype=int)
+        # Classes 1 and 2 absent everywhere -> only background counts.
+        assert mean_iou(pred, target, 3) == pytest.approx(1.0)
+
+    def test_half_overlap(self):
+        target = np.array([[0, 0, 1, 1]])
+        pred = np.array([[0, 1, 1, 0]])
+        # class0: inter 1, union 3; class1: inter 1, union 3.
+        assert mean_iou(pred, target, 2) == pytest.approx(1 / 3)
+
+
+class TestSegmenterModel:
+    def test_forward_shape(self):
+        model = make_bayesian_segmenter(width=4, seed=0)
+        x = Tensor(RNG.standard_normal((2, 1, 16, 16)))
+        assert model(x).shape == (2, 3, 16, 16)
+
+    def test_loss_backward(self):
+        model = make_bayesian_segmenter(width=4, seed=0)
+        x = Tensor(RNG.standard_normal((2, 1, 16, 16)))
+        masks = RNG.integers(0, 3, (2, 16, 16))
+        loss = segmentation_loss(model(x), masks)
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads
+
+    def test_mc_segment_shapes(self):
+        model = make_bayesian_segmenter(width=4, seed=0)
+        x = RNG.standard_normal((3, 1, 16, 16))
+        result = mc_segment(model, x, n_samples=4)
+        assert result.probs.shape == (3 * 16 * 16, 3)
+        pred, entropy = pixel_maps(result, (3, 16, 16))
+        assert pred.shape == entropy.shape == (3, 16, 16)
+
+    def test_mc_samples_vary(self):
+        model = make_bayesian_segmenter(width=4, p=0.5, seed=0)
+        x = RNG.standard_normal((2, 1, 16, 16))
+        result = mc_segment(model, x, n_samples=6)
+        # Spatial dropout across passes must produce varying samples.
+        assert result.samples.std(axis=0).max() > 0
+
+    def test_learns_above_chance(self):
+        from repro.data import batches
+        x, m = segmentation_scenes(300, seed=7)
+        model = make_bayesian_segmenter(width=8, seed=7)
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        for epoch in range(4):
+            model.train()
+            for xb, yb in batches(x, m, 32, seed=epoch):
+                loss = segmentation_loss(model(Tensor(xb)), yb)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                nn.clip_latent_weights(model)
+        xte, mte = segmentation_scenes(60, seed=8)
+        result = mc_segment(model, xte, n_samples=4)
+        pred, _ = pixel_maps(result, (60, 16, 16))
+        # Background-only prediction gives ~0.7 pixel accuracy but
+        # mIoU ~0.23; learned model must beat that mIoU.
+        assert mean_iou(pred, mte, 3) > 0.3
+
+
+class TestSynthPairs:
+    def test_shapes(self):
+        x, y = synth_pairs(50, size=16, seed=0)
+        assert x.shape == (50, 512)
+        assert y.min() >= 0 and y.max() <= 99
+
+    def test_nchw(self):
+        x, y = synth_pairs(20, size=16, seed=0, flat=False)
+        assert x.shape == (20, 1, 16, 32)
+
+    def test_label_encodes_digits(self):
+        """Class = tens*10 + ones: left half matches the tens digit."""
+        from repro.data.synthetic import synth_digits
+        x, y = synth_pairs(400, jitter=0.0, seed=0)
+        xd, yd = synth_digits(400, jitter=0.0, seed=1)
+        digit_templates = {int(d): xd[yd == d][0] for d in range(10)}
+        images = x.reshape(-1, 16, 32)
+        for i in range(30):
+            tens = int(y[i]) // 10
+            left = images[i, :, :16].reshape(-1)
+            np.testing.assert_array_equal(
+                left, digit_templates[tens])
+
+    def test_hundred_classes_present(self):
+        _, y = synth_pairs(3000, seed=0)
+        assert len(np.unique(y)) == 100

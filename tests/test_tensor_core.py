@@ -1,0 +1,162 @@
+"""Tensor class semantics: graph construction, no_grad, accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, functional as F
+
+
+class TestConstruction:
+    def test_data_coerced_to_float64(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_shape_and_size(self):
+        x = Tensor.zeros(2, 3)
+        assert x.shape == (2, 3) and x.size == 6 and x.ndim == 2
+
+    def test_randn_seeded(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        a = Tensor.randn(3, 3, rng=rng1)
+        b = Tensor.randn(3, 3, rng=rng2)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_detach_copies(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        d.data[0] = 99.0
+        assert x.data[0] == 1.0 and not d.requires_grad
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == 3.5
+
+
+class TestBackward:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        """f = (x*2) * (x*3) -> df/dx = 12x."""
+        x = Tensor([2.0], requires_grad=True)
+        (x * 2.0 * (x * 3.0)).backward()
+        np.testing.assert_allclose(x.grad, [24.0])
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_no_graph_through_constants(self):
+        x = Tensor([1.0])  # requires_grad=False
+        y = x * 2.0
+        assert not y.requires_grad and y._backward is None
+
+
+class TestNoGrad:
+    def test_flag_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_graph_built(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+    def test_restored_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestOperatorSugar:
+    def test_radd_rmul(self):
+        x = Tensor([2.0])
+        np.testing.assert_allclose((3.0 + x).data, [5.0])
+        np.testing.assert_allclose((3.0 * x).data, [6.0])
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0])
+        np.testing.assert_allclose((3.0 - x).data, [1.0])
+        np.testing.assert_allclose((4.0 / x).data, [2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0], [2.0]])
+        np.testing.assert_allclose((a @ b).data, [[1.0], [2.0]])
+
+    def test_t_property(self):
+        x = Tensor(np.arange(6).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_method_sum_mean(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        assert float(x.sum().data) == 6.0
+        assert float(x.mean().data) == 1.0
+
+
+class TestBroadcastGradients:
+    def test_row_vector_grad_shape(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_keepdim_axis_grad_shape(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (4, 1)
+        np.testing.assert_allclose(b.grad.reshape(-1), [3.0] * 4)
+
+    def test_scalar_tensor_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (a * s).sum().backward()
+        np.testing.assert_allclose(s.grad, 4.0)

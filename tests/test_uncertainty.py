@@ -1,0 +1,148 @@
+"""Uncertainty metrics, calibration and OOD scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uncertainty import (
+    aupr,
+    auroc,
+    brier_score,
+    detect,
+    expected_calibration_error,
+    expected_entropy,
+    max_probability,
+    mutual_information,
+    nll,
+    predictive_entropy,
+    reliability_bins,
+)
+
+
+def _dirichlet(shape, alpha=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.dirichlet(np.full(shape[-1], alpha), size=shape[:-1])
+
+
+class TestEntropyFamily:
+    def test_uniform_maximizes_entropy(self):
+        uniform = np.full((1, 5), 0.2)
+        peaked = np.array([[0.96, 0.01, 0.01, 0.01, 0.01]])
+        assert predictive_entropy(uniform)[0] > predictive_entropy(peaked)[0]
+
+    def test_entropy_of_onehot_zero(self):
+        onehot = np.array([[1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(predictive_entropy(onehot), 0.0,
+                                   atol=1e-9)
+
+    def test_mutual_information_zero_when_samples_agree(self):
+        probs = _dirichlet((4, 3), seed=1)
+        samples = np.repeat(probs[None], 7, axis=0)
+        np.testing.assert_allclose(mutual_information(samples), 0.0,
+                                   atol=1e-12)
+
+    def test_mutual_information_positive_when_disagreeing(self):
+        a = np.array([[[0.9, 0.1]], [[0.1, 0.9]]])  # (T=2, N=1, C=2)
+        assert mutual_information(a)[0] > 0.1
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_entropy_bounded_by_log_classes(self, n_classes):
+        probs = _dirichlet((16, n_classes), seed=3)
+        h = predictive_entropy(probs)
+        assert (h <= np.log(n_classes) + 1e-9).all()
+        assert (h >= 0).all()
+
+    def test_max_probability(self):
+        probs = np.array([[0.5, 0.3, 0.2]])
+        assert max_probability(probs)[0] == 0.5
+
+
+class TestScoringRules:
+    def test_nll_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(nll(probs, np.array([0, 1])), 0.0,
+                                   atol=1e-9)
+
+    def test_nll_penalizes_wrong_confidence(self):
+        good = np.array([[0.9, 0.1]])
+        bad = np.array([[0.1, 0.9]])
+        y = np.array([0])
+        assert nll(bad, y) > nll(good, y)
+
+    def test_brier_perfect_zero(self):
+        probs = np.array([[1.0, 0.0]])
+        assert brier_score(probs, np.array([0])) == pytest.approx(0.0)
+
+    def test_brier_worst_case(self):
+        probs = np.array([[0.0, 1.0]])
+        assert brier_score(probs, np.array([0])) == pytest.approx(2.0)
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(0)
+        n = 20000
+        conf = rng.uniform(0.5, 1.0, n)
+        correct = rng.random(n) < conf
+        probs = np.stack([conf, 1 - conf], axis=1)
+        labels = np.where(correct, 0, 1)
+        assert expected_calibration_error(probs, labels) < 0.02
+
+    def test_overconfident_high_ece(self):
+        n = 1000
+        probs = np.tile([0.99, 0.01], (n, 1))
+        labels = np.array([0] * (n // 2) + [1] * (n // 2))
+        assert expected_calibration_error(probs, labels) > 0.4
+
+    def test_reliability_bins_structure(self):
+        probs = _dirichlet((50, 3), seed=2)
+        labels = np.random.default_rng(3).integers(0, 3, 50)
+        bins = reliability_bins(probs, labels, n_bins=10)
+        assert len(bins) == 10
+        total = sum(count for _, _, count in bins)
+        assert total == 50
+
+
+class TestOodScoring:
+    def test_auroc_separable(self):
+        id_scores = np.zeros(100)
+        ood_scores = np.ones(100)
+        assert auroc(id_scores, ood_scores) == pytest.approx(1.0)
+
+    def test_auroc_chance(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(2000)
+        b = rng.standard_normal(2000)
+        assert abs(auroc(a, b) - 0.5) < 0.05
+
+    def test_auroc_ties_half(self):
+        same = np.ones(50)
+        assert auroc(same, same) == pytest.approx(0.5)
+
+    def test_aupr_separable(self):
+        assert aupr(np.zeros(50), np.ones(50)) == pytest.approx(1.0)
+
+    def test_detect_threshold_semantics(self):
+        rng = np.random.default_rng(1)
+        id_scores = rng.normal(0.0, 1.0, 5000)
+        ood_scores = rng.normal(4.0, 1.0, 5000)
+        result = detect(id_scores, ood_scores, id_keep_rate=0.95)
+        # Threshold keeps ~95 % of ID.
+        assert abs((id_scores <= result.threshold).mean() - 0.95) < 0.01
+        assert result.detection_rate > 0.95
+        assert result.auroc > 0.99
+
+    def test_detect_requires_scores(self):
+        with pytest.raises(ValueError):
+            auroc(np.array([]), np.array([1.0]))
+
+    @given(st.floats(min_value=0.5, max_value=0.99))
+    @settings(max_examples=15, deadline=None)
+    def test_detection_rate_monotone_in_keep_rate(self, keep):
+        rng = np.random.default_rng(2)
+        id_scores = rng.normal(0, 1, 1000)
+        ood_scores = rng.normal(2, 1, 1000)
+        loose = detect(id_scores, ood_scores, id_keep_rate=keep)
+        strict = detect(id_scores, ood_scores, id_keep_rate=0.995)
+        assert loose.detection_rate >= strict.detection_rate - 1e-9
