@@ -7,8 +7,6 @@
 * Scalar- vs vector-mask predictive performance.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.ablations import (
     defect_robustness,

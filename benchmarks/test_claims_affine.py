@@ -12,8 +12,6 @@ checked threshold-free; the MC-averaged affine regressor does not lose
 to the plain regressor on RMSE.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c4_affine
 

@@ -6,8 +6,6 @@ compared to existing methods", and the Gaussian-fitted stochastic
 dropout probability under device variation.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c3_scaledrop
 

@@ -9,8 +9,6 @@ The ratios are structural op-count ratios; our reference network
 absolute factors differ, but the orderings and magnitude bands hold.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c2_spatial
 

@@ -9,8 +9,6 @@ teacher's accuracy (within a small quantization-induced band), its
 uncertainty rises on OOD inputs, and detection works above chance.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c6_spinbayes
 

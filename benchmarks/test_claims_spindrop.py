@@ -8,8 +8,6 @@ Shape targets here: OOD uncertainty clearly separates from ID
 and a positive mean corruption gain.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c1_spindrop
 

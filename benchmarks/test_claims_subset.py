@@ -6,8 +6,6 @@ power consumption and 158.7× lower storage memory requirements
 compared to traditional methods".
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.claims import run_c5_subset_vi
 

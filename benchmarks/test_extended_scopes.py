@@ -6,8 +6,6 @@
 * the latency/area companion to Table I.
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.extended import (
     latency_area_table,

@@ -6,8 +6,6 @@ sense amplifiers, ADC, scale SRAM, the (single) dropout module and the
 digital periphery.
 """
 
-import pytest
-
 from repro.energy import format_energy, render_table
 from repro.experiments.figures import run_fig2_breakdown
 

@@ -6,8 +6,6 @@ trade-off versus the number of posterior crossbars N and the
 multi-level-cell precision.
 """
 
-import pytest
-
 from repro.energy import format_energy, render_table
 from repro.experiments.figures import arbiter_statistics, run_fig3_spinbayes
 

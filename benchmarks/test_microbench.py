@@ -9,7 +9,7 @@ benchmark pressure.
 import numpy as np
 import pytest
 
-from repro.cim import CimConfig, OpLedger, XnorCrossbar
+from repro.cim import CimConfig, XnorCrossbar
 from repro.devices import SpintronicArbiter, SpintronicRNG
 from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
 
@@ -57,6 +57,32 @@ def test_mc_inference_pass(benchmark, deployed_model):
     x = data.x_test[:32]
     logits = benchmark(deployed.forward, x)
     assert logits.shape == (32, 10)
+
+
+def test_mc_inference_batched(benchmark, deployed_model):
+    """Full T-pass MC inference through the batched engine."""
+    deployed, data = deployed_model
+    x = data.x_test[:32]
+    result = benchmark(deployed.mc_forward_batched, x, 10)
+    assert result.samples.shape == (10, 32, 10)
+
+
+def test_serving_coalesced_requests(benchmark, deployed_model):
+    """Scheduler throughput: many small requests per batched MC call."""
+    from repro.serving import BatchScheduler
+
+    deployed, data = deployed_model
+    requests = [data.x_test[i:i + 4] for i in range(0, 32, 4)]
+
+    def serve():
+        scheduler = BatchScheduler(deployed, n_samples=10, max_batch=32)
+        tickets = [scheduler.submit(x) for x in requests]
+        scheduler.flush()
+        return [t.result() for t in tickets]
+
+    results = benchmark(serve)
+    assert len(results) == 8
+    assert all(r.probs.shape == (4, 10) for r in results)
 
 
 def test_training_epoch(benchmark):

@@ -5,8 +5,6 @@
   dimension of the paper's claims).
 """
 
-import pytest
-
 from repro.energy import render_table
 from repro.experiments.ablations import calibration_comparison, retention_aging
 

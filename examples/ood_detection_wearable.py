@@ -16,18 +16,16 @@ while a deterministic network stays confidently wrong.
 Run:  python examples/ood_detection_wearable.py
 """
 
-import numpy as np
-
 from repro.bayesian import (
     deterministic_predict,
     make_binary_mlp,
     make_spindrop_mlp,
     mc_predict,
 )
-from repro.data import ood, synth_digits, train_test_split, batches
+from repro.data import ood, synth_digits, train_test_split
 from repro.experiments.common import TrainConfig, train_classifier
 from repro.experiments.common import Dataset
-from repro.uncertainty import detect, predictive_entropy
+from repro.uncertainty import detect
 
 
 def main() -> None:

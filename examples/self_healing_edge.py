@@ -23,7 +23,7 @@ from repro.bayesian import (
     make_binary_mlp,
     make_spindrop_mlp,
 )
-from repro.cim import CimConfig, compile_to_cim
+from repro.cim import CimConfig
 from repro.data import synth_digits, train_test_split
 from repro.devices import DefectModel, DefectRates
 from repro.energy import render_table

@@ -10,8 +10,6 @@ bit-precision" the paper describes.
 Run:  python examples/spinbayes_design_space.py
 """
 
-import numpy as np
-
 from repro.bayesian import SpinBayesNetwork, make_subset_vi_mlp, mc_predict_fn
 from repro.cim import CimConfig
 from repro.data import synth_digits, train_test_split

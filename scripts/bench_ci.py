@@ -1,0 +1,132 @@
+"""CI benchmark gate: batched MC inference must beat sequential.
+
+Times T-pass Monte-Carlo inference through the deployed CIM chain on
+the Table-I (fast preset) SpinDrop MLP, once through the original
+sequential per-pass loop and once through the batched engine, verifies
+the two are bit-for-bit identical, writes the measurements to
+``BENCH_mc_forward.json``, and exits non-zero if the batched path is
+not at least ``--min-speedup`` (default 3×) faster.
+
+Run locally from a source checkout:
+
+    python scripts/bench_ci.py
+
+CI runs it as a separate job so a perf regression in the batched
+engine fails the build even when all functional tests pass.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    from repro.bayesian import BayesianCim, make_spindrop_mlp
+    from repro.cim import CimConfig
+except ImportError:  # source checkout without install
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+    from repro.bayesian import BayesianCim, make_spindrop_mlp
+    from repro.cim import CimConfig
+
+import numpy as np
+
+# Table-I model (fast preset): 256-dim SynthDigits input, (128, 64)
+# hidden, 10 classes, SpinDrop after each hidden block.
+IN_FEATURES = 256
+HIDDEN = (128, 64)
+N_CLASSES = 10
+DROPOUT_P = 0.25
+BATCH = 12
+N_SAMPLES = 20
+REPEATS = 5
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _engine() -> BayesianCim:
+    model = make_spindrop_mlp(IN_FEATURES, HIDDEN, N_CLASSES,
+                              p=DROPOUT_P, seed=0)
+    return BayesianCim(model, CimConfig(seed=0), seed=0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-speedup", type=float,
+                        default=float(os.environ.get("BENCH_MIN_SPEEDUP", 3.0)),
+                        help="fail if batched/sequential speedup is below "
+                             "this (default 3.0, env BENCH_MIN_SPEEDUP)")
+    parser.add_argument("--out", default="BENCH_mc_forward.json",
+                        help="where to write the benchmark record")
+    parser.add_argument("--samples", type=int, default=N_SAMPLES)
+    parser.add_argument("--batch", type=int, default=BATCH)
+    args = parser.parse_args()
+
+    x = np.random.default_rng(1).standard_normal((args.batch, IN_FEATURES))
+    engine = _engine()
+
+    # Correctness guard before timing: seeded batched output must match
+    # the sequential loop bit-for-bit, with identical ledger totals.
+    check_seq = _engine()
+    check_bat = _engine()
+    check_seq.ledger.reset()
+    check_bat.ledger.reset()
+    seq_result = check_seq.mc_forward(x, n_samples=args.samples,
+                                      batched=False)
+    bat_result = check_bat.mc_forward_batched(x, n_samples=args.samples)
+    if not np.array_equal(seq_result.samples, bat_result.samples):
+        print("FAIL: batched MC output differs from sequential")
+        return 1
+    if check_seq.ledger.as_dict() != check_bat.ledger.as_dict():
+        print("FAIL: batched MC ledger differs from sequential")
+        return 1
+
+    # Warm up both paths, then time best-of-N.
+    engine.mc_forward(x[:2], n_samples=2, batched=False)
+    engine.mc_forward_batched(x[:2], n_samples=2)
+    seq_s = _best_of(
+        lambda: engine.mc_forward(x, n_samples=args.samples, batched=False),
+        REPEATS)
+    bat_s = _best_of(
+        lambda: engine.mc_forward_batched(x, n_samples=args.samples),
+        REPEATS)
+    speedup = seq_s / bat_s
+
+    record = {
+        "model": f"spindrop_mlp {IN_FEATURES}-"
+                 f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}",
+        "batch": args.batch,
+        "n_samples": args.samples,
+        "repeats": REPEATS,
+        "sequential_s": seq_s,
+        "batched_s": bat_s,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "bit_exact": True,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    print(f"sequential: {seq_s * 1e3:8.2f} ms")
+    print(f"batched:    {bat_s * 1e3:8.2f} ms")
+    print(f"speedup:    {speedup:8.2f}x  (gate: >= {args.min_speedup}x)")
+    print(f"record written to {args.out}")
+    if speedup < args.min_speedup:
+        print(f"FAIL: batched engine below the {args.min_speedup}x gate")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,3 +1,30 @@
-from setuptools import setup
+"""Package metadata for the NeuSpin reproduction.
 
-setup()
+The package lives under ``src/``; ``pip install -e .`` replaces the
+``PYTHONPATH=src`` incantation and installs the ``repro-experiments``
+console command (the full experiment sweep behind EXPERIMENTS.md).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="neuspin-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of NeuSpin: spintronic Bayesian CIM with a "
+        "batched Monte-Carlo inference engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "lint": ["ruff"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+        ],
+    },
+)

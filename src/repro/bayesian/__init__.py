@@ -13,6 +13,7 @@ from repro.bayesian.base import (
     StochasticModule,
     deterministic_predict,
     mc_predict,
+    mc_predict_batched,
     mc_predict_fn,
     set_mc_mode,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "PredictiveResult",
     "StochasticModule",
     "mc_predict",
+    "mc_predict_batched",
     "mc_predict_fn",
     "deterministic_predict",
     "set_mc_mode",

@@ -32,6 +32,21 @@ class PredictiveResult:
     probs: np.ndarray
     samples: np.ndarray
 
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "PredictiveResult":
+        """Build a result from a stacked (T, N, C) probability tensor."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim < 2:
+            raise ValueError(
+                "samples must have a leading MC axis: (T, N, C)")
+        return cls(probs=samples.mean(axis=0), samples=samples)
+
+    @classmethod
+    def from_logits(cls, logits: np.ndarray) -> "PredictiveResult":
+        """Build a result from stacked (T, N, C) raw logits."""
+        return cls.from_samples(_softmax_np(
+            np.asarray(logits, dtype=np.float64), axis=-1))
+
     @property
     def predictions(self) -> np.ndarray:
         return self.probs.argmax(axis=-1)
@@ -98,8 +113,7 @@ def mc_predict(model: nn.Module, x: np.ndarray, n_samples: int = 20,
         with no_grad():
             for _ in range(n_samples):
                 samples.append(_forward_probs(model, x, batch_size))
-        stacked = np.stack(samples)
-        return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)
+        return PredictiveResult.from_samples(np.stack(samples))
     finally:
         set_mc_mode(model, False)
 
@@ -134,5 +148,24 @@ def mc_predict_fn(forward: Callable[[np.ndarray], np.ndarray],
     samples = []
     for _ in range(n_samples):
         samples.append(_softmax_np(forward(x), axis=-1))
-    stacked = np.stack(samples)
-    return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)
+    return PredictiveResult.from_samples(np.stack(samples))
+
+
+def mc_predict_batched(forward_batched: Callable[[np.ndarray, int], np.ndarray],
+                       x: np.ndarray, n_samples: int = 20) -> PredictiveResult:
+    """MC prediction over a *vectorized* stochastic forward function.
+
+    ``forward_batched(x, n_samples)`` must evaluate every Monte-Carlo
+    pass in one call and return logits with a leading sample axis,
+    shape ``(n_samples, N, C)`` — the batched counterpart of
+    :func:`mc_predict_fn`'s T sequential calls.  Used by the deployed
+    (CIM) path, where :meth:`repro.bayesian.BayesianCim.forward_batched`
+    threads the sample axis through the whole analog chain as stacked
+    ndarray ops.
+    """
+    logits = np.asarray(forward_batched(x, n_samples), dtype=np.float64)
+    if logits.ndim < 3 or logits.shape[0] != n_samples:
+        raise ValueError(
+            f"forward_batched must return (n_samples, N, C) logits; "
+            f"got shape {logits.shape} for n_samples={n_samples}")
+    return PredictiveResult.from_logits(logits)

@@ -12,6 +12,19 @@ This is the object the Table-I benchmark measures: ``mc_forward``
 runs T passes through the accounted analog chain, and the ledger
 afterwards holds every crossbar access, ADC conversion and RNG cycle
 the method consumed.
+
+Two execution strategies produce those T passes:
+
+* **sequential** (``mc_forward(..., batched=False)``) — the original
+  per-pass Python loop: re-draw hardware randomness, walk the stage
+  list, repeat T times;
+* **batched** (default) — :meth:`BayesianCim.forward_batched`
+  pre-draws all T per-pass mask banks (consuming the RNG streams in
+  exactly the sequential order), installs them as per-row banks on the
+  stochastic stages, and pushes one flattened ``(T·N, …)`` tensor
+  through the analog chain as stacked ndarray ops.  Ledger totals are
+  identical by construction, and with no cycle-to-cycle read noise the
+  outputs are bit-for-bit identical to the sequential path.
 """
 
 from __future__ import annotations
@@ -23,7 +36,11 @@ import numpy as np
 
 from repro import nn
 from repro.bayesian.affine import AffineDropout
-from repro.bayesian.base import PredictiveResult, mc_predict_fn
+from repro.bayesian.base import (
+    PredictiveResult,
+    mc_predict_batched,
+    mc_predict_fn,
+)
 from repro.bayesian.scale_dropout import ScaleDropout
 from repro.bayesian.spatial import SpatialSpinDropout
 from repro.bayesian.spindrop import SpinDropout
@@ -31,8 +48,6 @@ from repro.bayesian.subset_vi import BayesianScale
 from repro.cim.compile import _deploy_layer
 from repro.cim.layers import (
     CimConfig,
-    CimConv2d,
-    CimLinear,
     CimNetwork,
     DigitalScale,
     DropoutGate,
@@ -167,6 +182,168 @@ class BayesianCim:
                 binding.target.beta_multiplier = 1.0
 
     # ------------------------------------------------------------------
+    # Batched Monte-Carlo engine
+    # ------------------------------------------------------------------
+    def _draw_sample_banks(self, n_samples: int) -> List[np.ndarray]:
+        """Pre-draw T passes of hardware randomness, one bank per binding.
+
+        Draws consume the RNG streams in exactly the order T sequential
+        :meth:`_resample` calls would (pass-major, then binding order),
+        so a seeded batched run reproduces the sequential masks
+        bit-for-bit.  Returns one ``(T, …)`` array per binding:
+        keep-masks for neuron/channel, scalar multipliers for scale,
+        (gamma, beta) multiplier pairs for affine, per-feature
+        multiplier vectors for VI.
+        """
+        draws: List[list] = [[] for _ in self.bindings]
+        for _ in range(n_samples):
+            for slot, binding in zip(draws, self.bindings):
+                if binding.kind in ("neuron", "channel"):
+                    bits = binding.rng_bank.generate(binding.rng_bank.n_modules)
+                    slot.append((bits < 0.5).astype(np.float64))
+                elif binding.kind == "scale":
+                    bit = binding.rng_bank.generate(1)[0]
+                    layer: ScaleDropout = binding.source
+                    slot.append(layer.drop_scale if bit > 0.5 else 1.0)
+                elif binding.kind == "affine":
+                    bits = binding.rng_bank.generate(2)
+                    slot.append((0.0 if bits[0] > 0.5 else 1.0,
+                                 0.0 if bits[1] > 0.5 else 1.0))
+                else:  # vi
+                    layer: BayesianScale = binding.source
+                    sample = layer.posterior_sample_np()
+                    slot.append(sample / np.where(
+                        layer.mu.data == 0, 1.0, layer.mu.data))
+        return [np.asarray(slot, dtype=np.float64) for slot in draws]
+
+    def _install_banks(self, banks: List[np.ndarray], t0: int, t1: int,
+                       batch: int) -> None:
+        """Expand pass-level banks [t0, t1) into per-row stage state.
+
+        Every per-pass draw is repeated ``batch`` times so row
+        ``t * batch + i`` of the flattened tensor sees pass ``t``'s
+        mask — the same sharing the sequential path applies within one
+        pass.
+        """
+        for binding, bank in zip(self.bindings, banks):
+            rows = bank[t0:t1]
+            if binding.kind in ("neuron", "channel"):
+                binding.target.mask = np.repeat(rows, batch, axis=0)
+            elif binding.kind == "scale":
+                binding.target.multiplier = np.repeat(rows, batch)[:, None]
+            elif binding.kind == "affine":
+                binding.target.gamma_multiplier = np.repeat(rows[:, 0], batch)
+                binding.target.beta_multiplier = np.repeat(rows[:, 1], batch)
+            else:  # vi
+                binding.target.multiplier = np.repeat(rows, batch, axis=0)
+
+    def _set_passes_per_call(self, passes: int) -> None:
+        for stage in self.network.stages:
+            if isinstance(stage, DigitalScale):
+                stage.passes_per_call = passes
+
+    def _rng_bits_per_image(self, binding: _MaskBinding) -> int:
+        """RNG cycles one image's mask generation costs for a binding."""
+        if binding.kind in ("neuron", "channel"):
+            return binding.rng_bank.n_modules
+        if binding.kind == "scale":
+            return 1
+        if binding.kind == "affine":
+            return 2
+        return binding.source.n_features  # vi: one draw per scale element
+
+    def _has_read_noise(self) -> bool:
+        """Whether the analog chain draws fresh randomness per forward."""
+        var = self.config.variability
+        return var is not None and var.params.sigma_read > 0.0
+
+    def _stochastic_split(self) -> int:
+        """Index of the first stage driven by a mask binding.
+
+        Stages before it are pass-invariant: they see the same input on
+        every MC pass and (absent read noise) compute the same output,
+        so the batched engine evaluates them once and broadcasts.
+        """
+        bound = {id(binding.target) for binding in self.bindings}
+        for idx, stage in enumerate(self.network.stages):
+            if id(stage) in bound:
+                return idx
+        return len(self.network.stages)
+
+    def forward_batched(self, x: np.ndarray, n_samples: int = 20,
+                        chunk_passes: Optional[int] = None) -> np.ndarray:
+        """All T MC passes as stacked ndarray ops; logits (T, N, C).
+
+        Bit-for-bit identical to T calls of ``forward(x,
+        stochastic=True)`` under the same seed, with identical ledger
+        totals (crossbar accesses, ADC conversions, RNG cycles, SRAM
+        reads).  Mask banks are pre-drawn in sequential RNG order, then
+        the passes run as one flattened ``(T·N, …)`` tensor.  Two
+        refinements keep that equivalence exact while going fast:
+
+        * the *pass-invariant prefix* — every stage before the first
+          stochastic stage — is evaluated once and broadcast across
+          passes, its ledger delta multiplied by T (the hardware still
+          performs T passes; the simulator memoizes deterministic
+          recomputation);
+        * when cycle-to-cycle read noise is enabled the chain is no
+          longer pass-deterministic, so the engine drops to one pass
+          per stacked call and disables prefix memoization — the noise
+          stream is then consumed draw-for-draw in sequential order.
+
+        ``chunk_passes`` bounds peak memory by evaluating at most that
+        many passes per stacked forward (default: all at once).
+        """
+        if n_samples < 1:
+            raise ValueError("need at least one MC sample")
+        x = np.asarray(x, dtype=np.float64)
+        batch = x.shape[0]
+        banks = self._draw_sample_banks(n_samples)
+        # Per-image RNG-cycle accounting, identical to the sequential
+        # path's per-pass booking.
+        for binding in self.bindings:
+            self.ledger.add(
+                "rng_cycle",
+                self._rng_bits_per_image(binding) * batch * n_samples)
+
+        chunk = n_samples if chunk_passes is None else max(1, int(chunk_passes))
+        split = self._stochastic_split()
+        if self._has_read_noise():
+            chunk = 1
+            split = 0
+        stages = self.network.stages
+
+        # Pass-invariant prefix: run once, book T-fold.
+        h = x
+        if split > 0:
+            before = dict(self.ledger.counts)
+            for stage in stages[:split]:
+                h = stage(h)
+            for op, count in self.ledger.counts.items():
+                delta = count - before.get(op, 0)
+                if delta > 0:
+                    self.ledger.add(op, delta * (n_samples - 1))
+
+        outs = []
+        try:
+            for t0 in range(0, n_samples, chunk):
+                t1 = min(t0 + chunk, n_samples)
+                self._install_banks(banks, t0, t1, batch)
+                self._set_passes_per_call(t1 - t0)
+                flat = np.broadcast_to(
+                    h[None], (t1 - t0,) + h.shape).reshape(
+                        ((t1 - t0) * batch,) + h.shape[1:])
+                for stage in stages[split:]:
+                    flat = stage(flat)
+                outs.append(flat.reshape((t1 - t0, batch) + flat.shape[1:]))
+        finally:
+            self._clear()
+            self._set_passes_per_call(1)
+        if len(outs) == 1:
+            return outs[0]
+        return np.concatenate(outs, axis=0)
+
+    # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, stochastic: bool = True) -> np.ndarray:
         """One pass through the analog chain; raw logits."""
         batch = x.shape[0]
@@ -176,26 +353,38 @@ class BayesianCim:
             # In hardware every image draws fresh bits; the behavioural
             # model shares one mask per pass but accounts per image.
             for binding in self.bindings:
-                if binding.kind in ("neuron", "channel"):
-                    bits = binding.rng_bank.n_modules
-                elif binding.kind == "scale":
-                    bits = 1
-                elif binding.kind == "affine":
-                    bits = 2
-                else:  # vi: one stochastic-SOT draw per scale element
-                    bits = binding.source.n_features
-                self.ledger.add("rng_cycle", bits * batch)
+                self.ledger.add(
+                    "rng_cycle", self._rng_bits_per_image(binding) * batch)
         else:
             self._clear()
         return self.network.forward(x)
 
     __call__ = forward
 
-    def mc_forward(self, x: np.ndarray, n_samples: int = 20
-                   ) -> PredictiveResult:
-        """Monte-Carlo Bayesian inference on hardware: T passes."""
+    def mc_forward(self, x: np.ndarray, n_samples: int = 20,
+                   batched: bool = True,
+                   chunk_passes: Optional[int] = None) -> PredictiveResult:
+        """Monte-Carlo Bayesian inference on hardware: T passes.
+
+        ``batched=True`` (default) evaluates all passes through the
+        vectorized engine; ``batched=False`` keeps the original
+        per-pass loop (the reference implementation the equivalence
+        tests pin the batched engine against).
+        """
+        if batched:
+            return self.mc_forward_batched(x, n_samples=n_samples,
+                                           chunk_passes=chunk_passes)
         return mc_predict_fn(lambda inp: self.forward(inp, stochastic=True),
                              x, n_samples=n_samples)
+
+    def mc_forward_batched(self, x: np.ndarray, n_samples: int = 20,
+                           chunk_passes: Optional[int] = None
+                           ) -> PredictiveResult:
+        """Batched MC inference: one stacked evaluation of all T passes."""
+        return mc_predict_batched(
+            lambda inp, t: self.forward_batched(inp, t,
+                                                chunk_passes=chunk_passes),
+            x, n_samples=n_samples)
 
     def deterministic_forward(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x, stochastic=False)

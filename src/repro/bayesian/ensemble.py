@@ -8,7 +8,7 @@ C5 memory benchmark and an accuracy/uncertainty baseline elsewhere.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

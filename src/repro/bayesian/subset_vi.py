@@ -17,7 +17,7 @@ stochastic-switching RNG supplying the posterior samples.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

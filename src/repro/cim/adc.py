@@ -28,12 +28,9 @@ class ADC:
                  ledger: Optional[OpLedger] = None):
         if bits < 1:
             raise ValueError("ADC needs at least 1 bit")
-        if hi <= lo:
-            raise ValueError("hi must exceed lo")
         self.bits = bits
-        self.lo = lo
-        self.hi = hi
         self.ledger = ledger if ledger is not None else OpLedger()
+        self.calibrate(lo, hi)
 
     @property
     def n_codes(self) -> int:
@@ -44,23 +41,30 @@ class ADC:
         if hi <= lo:
             raise ValueError("hi must exceed lo")
         self.lo, self.hi = lo, hi
+        # Precomputed once: convert() sits on the per-MVM hot path of
+        # the batched MC engine.
+        self._step = (hi - lo) / (self.n_codes - 1)
 
     def convert(self, values: np.ndarray) -> np.ndarray:
-        """Quantize ``values``; books one conversion per element."""
+        """Quantize ``values``; books one conversion per element.
+
+        Shape-agnostic: any leading axes (batch, stacked MC samples)
+        pass through unchanged, each element booking one conversion —
+        so a batched (T·N, cols) call costs exactly T sequential
+        (N, cols) calls.
+        """
         values = np.asarray(values, dtype=np.float64)
-        span = self.hi - self.lo
-        step = span / (self.n_codes - 1)
-        codes = np.rint((np.clip(values, self.lo, self.hi) - self.lo) / step)
+        codes = np.rint((np.clip(values, self.lo, self.hi) - self.lo)
+                        / self._step)
         self.ledger.add("adc_conversion", values.size)
-        return self.lo + codes * step
+        return self.lo + codes * self._step
 
     def quantization_rmse(self, values: np.ndarray) -> float:
         """RMS quantization error on a sample batch (no ledger booking)."""
         values = np.asarray(values, dtype=np.float64)
-        span = self.hi - self.lo
-        step = span / (self.n_codes - 1)
-        codes = np.rint((np.clip(values, self.lo, self.hi) - self.lo) / step)
-        quantized = self.lo + codes * step
+        codes = np.rint((np.clip(values, self.lo, self.hi) - self.lo)
+                        / self._step)
+        quantized = self.lo + codes * self._step
         return float(np.sqrt(np.mean((quantized - values) ** 2)))
 
 

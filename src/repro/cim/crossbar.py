@@ -35,6 +35,27 @@ from repro.devices.mtj import MTJParams
 from repro.devices.variability import DeviceVariability
 
 
+def split_leading_axes(x: np.ndarray, feature_ndim: int):
+    """Flatten every axis before the last ``feature_ndim`` into one batch.
+
+    The sample-axis plumbing shared by crossbars and CIM layers: a
+    stacked Monte-Carlo tensor (e.g. ``(T, N, features…)``) becomes a
+    flat ``(T·N, features…)`` batch.  Returns ``(lead, flat)`` where
+    ``lead`` is ``None`` when ``x`` already had a single batch axis.
+    """
+    if x.ndim == feature_ndim + 1:
+        return None, x
+    lead = x.shape[:-feature_ndim]
+    return lead, x.reshape((-1,) + x.shape[-feature_ndim:])
+
+
+def merge_leading_axes(lead, out: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_leading_axes` on the produced output."""
+    if lead is None:
+        return out
+    return out.reshape(lead + out.shape[1:])
+
+
 class XnorCrossbar:
     """Binary-weight crossbar with complementary bit-cell pairs.
 
@@ -117,15 +138,23 @@ class XnorCrossbar:
 
     def matvec(self, inputs: np.ndarray,
                row_mask: Optional[np.ndarray] = None) -> np.ndarray:
-        """Batched XNOR MAC: inputs (N, n_rows) in {−1, 0, +1} → (N, n_cols).
+        """Batched XNOR MAC: inputs (..., n_rows) in {−1, 0, +1} → (..., n_cols).
+
+        Any leading axes are treated as one flat batch of MVMs — in
+        particular a stacked Monte-Carlo tensor ``(T, N, n_rows)``
+        evaluates all T passes in a single ndarray operation; the
+        ledger counts are identical to T separate calls because every
+        booking is per asserted wordline.
 
         A zero input means the wordline pair is *not asserted* — the
         row contributes no current, which is exactly how neuron dropout
         reaches the crossbar (a dropped neuron's activation is zero, so
-        its wordline never fires).  ``row_mask`` (n_rows,) of {0,1}
-        additionally gates rows layer-wide — the Fig.-1 mechanism where
-        the dropout module drives the WL decoder directly
-        (Spatial-SpinDrop feature-map gating).
+        its wordline never fires).  ``row_mask`` of {0,1} additionally
+        gates rows — the Fig.-1 mechanism where the dropout module
+        drives the WL decoder directly (Spatial-SpinDrop feature-map
+        gating).  Shape ``(n_rows,)`` gates layer-wide; a mask with the
+        same leading axes as ``inputs`` gates per sample (e.g. a
+        different wordline mask per stacked MC pass).
 
         Returns the *decoded integer MAC* (2·matches − n_active, per
         sample), already corrected for the analog chain; amplitude
@@ -136,17 +165,24 @@ class XnorCrossbar:
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim == 1:
             inputs = inputs[None, :]
+        lead, inputs = split_leading_axes(inputs, 1)
         if inputs.shape[1] != self.n_rows:
             raise ValueError(f"input width {inputs.shape[1]} != {self.n_rows}")
-        if not np.all(np.isin(inputs, (-1.0, 0.0, 1.0))):
+        if not np.all((inputs == 0.0) | (np.abs(inputs) == 1.0)):
             raise ValueError("XnorCrossbar inputs must be in {-1, 0, +1}")
 
         if row_mask is None:
             gate = np.ones(self.n_rows)
         else:
             gate = np.asarray(row_mask, dtype=np.float64)
-            if gate.shape != (self.n_rows,):
-                raise ValueError("row_mask must have shape (n_rows,)")
+            if gate.ndim > 2:
+                gate = gate.reshape(-1, gate.shape[-1])
+            if gate.shape != (self.n_rows,) and \
+                    gate.shape != (inputs.shape[0], self.n_rows):
+                raise ValueError(
+                    "row_mask must have shape (n_rows,) or match the "
+                    "flattened input batch: "
+                    f"got {np.shape(row_mask)} for inputs {inputs.shape}")
             gate = (gate > 0).astype(np.float64)
 
         v = self.params.read_voltage
@@ -172,7 +208,7 @@ class XnorCrossbar:
         total_active = int(n_active.sum())
         self.ledger.add("crossbar_cell_access", total_active * self.n_cols)
         self.ledger.add("dac_drive", total_active)
-        return mac
+        return merge_leading_axes(lead, mac)
 
 
 class AnalogCrossbar:
@@ -241,12 +277,17 @@ class AnalogCrossbar:
         return self._v_min + np.clip(frac, 0.0, 1.0) * (self._v_max - self._v_min)
 
     def matvec(self, inputs: np.ndarray) -> np.ndarray:
-        """Analog MVM: (N, n_rows) voltages → (N, n_cols) decoded values."""
+        """Analog MVM: (..., n_rows) voltages → (..., n_cols) decoded values.
+
+        Leading axes (e.g. a stacked MC sample axis) are flattened into
+        one batch of MVMs and restored on the output.
+        """
         if self._g is None:
             raise RuntimeError("crossbar not programmed")
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim == 1:
             inputs = inputs[None, :]
+        lead, inputs = split_leading_axes(inputs, 1)
         g = self._g
         if self.variability is not None:
             g = self.variability.read_noise(g)
@@ -260,4 +301,4 @@ class AnalogCrossbar:
         batch = inputs.shape[0]
         self.ledger.add("crossbar_cell_access", self.n_rows * self.n_cols * batch)
         self.ledger.add("dac_drive", self.n_rows * batch)
-        return out
+        return merge_leading_axes(lead, out)

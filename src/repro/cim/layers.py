@@ -19,7 +19,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cim.adc import ADC, PopcountADC
-from repro.cim.crossbar import XnorCrossbar
+from repro.cim.crossbar import (
+    XnorCrossbar,
+    merge_leading_axes,
+    split_leading_axes,
+)
 from repro.cim.ledger import OpLedger
 from repro.cim.mapping import ConvShape, MappingPlan, MappingStrategy, plan_conv_mapping
 from repro.devices.defects import DefectModel
@@ -120,6 +124,7 @@ class CimLinear(CimLayer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
+        lead, x = split_leading_axes(x, 1)   # e.g. (T, N, F) sample axis
         bits = np.sign(x)     # binarize; exact zeros stay gated (dropout)
         out = np.zeros((x.shape[0], self.out_features))
         for i, (r0, r1) in enumerate(self.row_chunks):
@@ -140,7 +145,7 @@ class CimLinear(CimLayer):
         if self.bias is not None:
             out = out + self.bias
             self.ledger.add("digital_op", out.size)
-        return out
+        return merge_leading_axes(lead, out)
 
 
 class CimConv2d(CimLayer):
@@ -214,6 +219,7 @@ class CimConv2d(CimLayer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
+        lead, x = split_leading_axes(x, 3)   # (T, N, C, H, W) sample axis
         n = x.shape[0]
         if self.padding:
             x = np.pad(x, ((0, 0), (0, 0),
@@ -243,7 +249,7 @@ class CimConv2d(CimLayer):
         if self.bias is not None:
             out = out + self.bias.reshape(1, -1, 1, 1)
             self.ledger.add("digital_op", out.size)
-        return out
+        return merge_leading_axes(lead, out)
 
 
 class FrozenNorm(CimLayer):
@@ -253,7 +259,9 @@ class FrozenNorm(CimLayer):
     affine ``(x · g + b − mu) / sigma`` (inverted order) or
     ``(x − mu) / sigma · g + b`` (standard order), computed digitally.
     Affine-dropout masks are applied by the Bayesian wrapper through
-    ``gamma_multiplier`` / ``beta_multiplier``.
+    ``gamma_multiplier`` / ``beta_multiplier`` — scalars for one MC
+    pass, or 1-D arrays of per-row values (one entry per sample of a
+    flattened ``(T·N, …)`` batch) in the batched MC engine.
     """
 
     def __init__(self, mean: np.ndarray, var: np.ndarray,
@@ -267,11 +275,19 @@ class FrozenNorm(CimLayer):
         self.beta = None if beta is None else np.asarray(beta, np.float64)
         self.spatial = spatial
         self.inverted = inverted
-        self.gamma_multiplier: float = 1.0
-        self.beta_multiplier: float = 1.0
+        self.gamma_multiplier: float | np.ndarray = 1.0
+        self.beta_multiplier: float | np.ndarray = 1.0
 
     def _shape(self, x: np.ndarray) -> tuple:
         return (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+
+    @staticmethod
+    def _per_row(multiplier, x: np.ndarray):
+        """Align a per-row multiplier bank against the batch axis."""
+        if np.ndim(multiplier) == 0:
+            return multiplier
+        return np.asarray(multiplier, dtype=np.float64).reshape(
+            (-1,) + (1,) * (x.ndim - 1))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         shape = self._shape(x)
@@ -282,9 +298,10 @@ class FrozenNorm(CimLayer):
         if gamma is not None:
             # Affine-dropout semantics: dropped gamma -> identity (1),
             # dropped beta -> zero.
-            gamma = gamma * self.gamma_multiplier + (1.0 - self.gamma_multiplier)
+            gm = self._per_row(self.gamma_multiplier, x)
+            gamma = gamma * gm + (1.0 - gm)
         if beta is not None:
-            beta = beta * self.beta_multiplier
+            beta = beta * self._per_row(self.beta_multiplier, x)
         if self.inverted:
             out = x
             if gamma is not None:
@@ -313,7 +330,10 @@ class DropoutGate(CimLayer):
 
     ``mask`` is set per pass by the Bayesian wrapper: shape (F,) for
     neuron masks, (C,) for channel masks (broadcast over H, W);
-    ``None`` = deterministic pass-through.
+    ``None`` = deterministic pass-through.  The batched MC engine
+    instead installs a 2-D mask *bank* — one row per sample of the
+    flattened ``(T·N, …)`` batch — so all T per-pass masks apply in a
+    single stacked multiply.
     """
 
     def __init__(self, p: float, channelwise: bool, ledger: OpLedger):
@@ -326,11 +346,20 @@ class DropoutGate(CimLayer):
         if self.mask is None:
             return x
         keep = (np.asarray(self.mask, dtype=np.float64) > 0).astype(np.float64)
-        self.ledger.add("digital_op", x.shape[0] * keep.size)
+        if self.channelwise and x.ndim != 4:
+            raise ValueError("channelwise DropoutGate expects NCHW")
+        if keep.ndim == 1:
+            # One gating op per (sample, masked unit), as in hardware.
+            self.ledger.add("digital_op", x.shape[0] * keep.size)
+            if self.channelwise:
+                return x * keep.reshape(1, -1, 1, 1)
+            return x * keep
+        if keep.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"mask bank rows {keep.shape[0]} != batch {x.shape[0]}")
+        self.ledger.add("digital_op", keep.size)
         if self.channelwise:
-            if x.ndim != 4:
-                raise ValueError("channelwise DropoutGate expects NCHW")
-            return x * keep.reshape(1, -1, 1, 1)
+            return x * keep[:, :, None, None]
         return x * keep
 
 
@@ -341,7 +370,14 @@ class DigitalScale(CimLayer):
     is fetched from the 32-bit scale SRAM and multiplied into the
     accumulated MAC digitally.  ``multiplier`` is the per-pass
     stochastic modulation (scalar for Scale-Dropout, vector for a
-    Bayesian-scale posterior sample) set by the Bayesian wrapper.
+    Bayesian-scale posterior sample) set by the Bayesian wrapper; the
+    batched MC engine installs a 2-D bank instead — ``(rows, 1)`` for
+    Scale-Dropout, ``(rows, F)`` for posterior samples, one row per
+    sample of the flattened ``(T·N, …)`` batch.
+
+    ``passes_per_call`` declares how many MC passes one forward call
+    represents, so the SRAM re-read each hardware pass performs stays
+    booked identically whether the passes run sequentially or stacked.
     """
 
     def __init__(self, scale: np.ndarray, spatial: bool, ledger: OpLedger):
@@ -349,11 +385,20 @@ class DigitalScale(CimLayer):
         self.scale = np.asarray(scale, dtype=np.float64)
         self.spatial = spatial
         self.multiplier: float | np.ndarray = 1.0
+        self.passes_per_call: int = 1
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         effective = self.scale * self.multiplier
-        self.ledger.add("sram_read", self.scale.size)
+        self.ledger.add("sram_read", self.scale.size * self.passes_per_call)
         self.ledger.add("digital_mac", x.size)
+        if effective.ndim > 1:        # per-row multiplier bank
+            if effective.shape[0] != x.shape[0]:
+                raise ValueError(
+                    f"multiplier bank rows {effective.shape[0]} != "
+                    f"batch {x.shape[0]}")
+            if self.spatial:
+                return x * effective[:, :, None, None]
+            return x * effective
         if self.spatial:
             return x * effective.reshape(1, -1, 1, 1)
         return x * effective

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import math
 from typing import List, Tuple
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cim.ledger import OpLedger
 from repro.energy.params import DEFAULT_ENERGY, EnergyParams

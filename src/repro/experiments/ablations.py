@@ -202,7 +202,6 @@ def temperature_sweep(temperatures: Tuple[float, ...] = (250.0, 300.0,
     """
     from repro.devices import (
         DeviceVariability,
-        MTJParams,
         SpintronicRNG,
         VariabilityParams,
     )
@@ -294,7 +293,7 @@ def retention_aging(fast: bool = True, seed: int = 0,
     which is exactly the in-field reliability concern of key
     takeaway #4.
     """
-    from repro.bayesian import make_spindrop_mlp, mc_predict, set_mc_mode
+    from repro.bayesian import make_spindrop_mlp, mc_predict
     from repro.devices import DeviceVariability, VariabilityParams
     from repro.tensor import Tensor, no_grad
 
@@ -328,8 +327,8 @@ def retention_aging(fast: bool = True, seed: int = 0,
             layer.weight.data = aged.copy()
         result = mc_predict(model, x, n_samples=config.mc_samples)
         flipped = float(np.mean([
-            (np.where(l.weight.data >= 0, 1, -1) != w0).mean()
-            for l, w0 in zip(binary_layers, originals)]))
+            (np.where(layer.weight.data >= 0, 1, -1) != w0).mean()
+            for layer, w0 in zip(binary_layers, originals)]))
         results.append({
             "age_years": age,
             "accuracy": mc_accuracy(result, y),

@@ -9,7 +9,7 @@ paper-vs-measured values.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
@@ -23,7 +23,6 @@ from repro.bayesian import (
     make_affine_regressor,
     make_binary_mlp,
     make_scaledrop_mlp,
-    make_spatial_spindrop_cnn,
     make_spindrop_mlp,
     make_subset_vi_mlp,
     mc_predict,
@@ -50,7 +49,7 @@ from repro.experiments.common import (
     train_regressor,
 )
 from repro.tensor import Tensor, no_grad
-from repro.uncertainty import detect, nll, predictive_entropy
+from repro.uncertainty import detect, nll
 
 
 # ----------------------------------------------------------------------

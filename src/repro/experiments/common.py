@@ -12,7 +12,7 @@ EXPERIMENTS.md numbers).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 

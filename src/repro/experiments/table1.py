@@ -29,11 +29,9 @@ Sub-Set ≈ SpinBayes > ScaleDrop.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
-
-from repro import nn
 from repro.bayesian import (
     BayesianCim,
     SpinBayesNetwork,
@@ -54,7 +52,6 @@ from repro.energy import (
     render_table,
 )
 from repro.experiments.common import (
-    Dataset,
     TrainConfig,
     digits_dataset,
     mc_accuracy,

@@ -1,0 +1,13 @@
+"""Serving layer: request coalescing over the batched MC engine."""
+
+from repro.serving.scheduler import (
+    BatchScheduler,
+    PendingPrediction,
+    SchedulerStats,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "PendingPrediction",
+    "SchedulerStats",
+]

@@ -1,0 +1,212 @@
+"""Request coalescing for batched Monte-Carlo inference.
+
+The batched MC engine (:meth:`repro.bayesian.BayesianCim.
+forward_batched`) amortizes the T-pass Monte-Carlo loop over one
+stacked tensor; :class:`BatchScheduler` amortizes it over *requests*
+as well.  Concurrent callers submit inputs of any size, the scheduler
+concatenates them into one coalesced batch, runs a single batched MC
+call, and hands each caller back its own slice of the predictive
+distribution — the serving-side shape of the ROADMAP's "heavy
+traffic" goal.
+
+Coalescing changes nothing about a request's semantics: every MC pass
+draws one mask bank shared across the whole coalesced batch, exactly
+as a single ``mc_forward`` call over the concatenated inputs would
+(and, under a fixed seed, exactly *bit-for-bit* that call).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bayesian.base import PredictiveResult
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    """Operational counters of one :class:`BatchScheduler`."""
+
+    requests: int = 0
+    rows: int = 0
+    flushes: int = 0
+    coalesced_rows: int = 0      # rows that shared a flush with another request
+    evicted: int = 0             # unclaimed results dropped at the cap
+
+    @property
+    def mean_rows_per_flush(self) -> float:
+        return self.rows / self.flushes if self.flushes else 0.0
+
+
+class PendingPrediction:
+    """Handle for a submitted request; resolves on flush.
+
+    ``result()`` returns the request's own :class:`PredictiveResult`
+    (predictive mean probabilities, per-pass samples, and therefore
+    every uncertainty score).  Calling it before the scheduler has
+    flushed forces a flush of the current pending batch.
+    """
+
+    def __init__(self, scheduler: "BatchScheduler", seq: int, n_rows: int):
+        self._scheduler = scheduler
+        self._seq = seq
+        self.n_rows = n_rows
+
+    def done(self) -> bool:
+        return self._scheduler._has_result(self._seq)
+
+    def result(self) -> PredictiveResult:
+        return self._scheduler._resolve(self._seq)
+
+
+class BatchScheduler:
+    """Coalesces concurrent inference requests into batched MC calls.
+
+    Parameters
+    ----------
+    engine:
+        Any object exposing ``mc_forward_batched(x, n_samples=...,
+        chunk_passes=...) -> PredictiveResult`` — normally a
+        :class:`~repro.bayesian.BayesianCim`.
+    n_samples:
+        Monte-Carlo passes per flush (the T of the predictive
+        distribution every request receives).
+    max_batch:
+        Flush automatically once the pending rows reach this count.
+        Requests larger than ``max_batch`` are accepted and flushed
+        immediately rather than split (a request's rows always share
+        one flush, so its samples stay mutually consistent).
+    chunk_passes:
+        Forwarded to the engine to bound peak memory.
+    feature_shape:
+        Per-sample input shape, e.g. ``(256,)`` or ``(1, 16, 16)``.
+        When omitted it is inferred from the first request, which must
+        then be *batched* ``(n, …features)`` — an unbatched first
+        request is ambiguous for multi-dimensional features (a single
+        ``(C, H, W)`` image is indistinguishable from a batch of 2-D
+        inputs) and only a 1-D feature vector is auto-promoted.
+    max_retained_results:
+        Bound on flushed-but-unclaimed results kept for late
+        ``result()`` calls.  A long-lived scheduler whose callers
+        abandon tickets (e.g. after timeouts) would otherwise grow
+        without limit; beyond the cap the *oldest* unclaimed results
+        are dropped (counted in ``stats.evicted``) and their tickets
+        raise on ``result()``.
+    """
+
+    def __init__(self, engine, n_samples: int = 20, max_batch: int = 64,
+                 chunk_passes: Optional[int] = None,
+                 feature_shape: Optional[tuple] = None,
+                 max_retained_results: int = 1024):
+        if n_samples < 1:
+            raise ValueError("need at least one MC sample")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_retained_results < 1:
+            raise ValueError("max_retained_results must be positive")
+        self.engine = engine
+        self.n_samples = n_samples
+        self.max_batch = max_batch
+        self.chunk_passes = chunk_passes
+        self.max_retained_results = max_retained_results
+        self.stats = SchedulerStats()
+        self._lock = threading.RLock()
+        self._pending: List[tuple[int, np.ndarray]] = []
+        self._pending_rows = 0
+        self._results: dict[int, PredictiveResult] = {}
+        self._feature_shape: Optional[tuple] = (
+            None if feature_shape is None else tuple(feature_shape))
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> PendingPrediction:
+        """Enqueue a request: ``x`` is (n, …features) or (…features,).
+
+        Returns a :class:`PendingPrediction` that resolves once the
+        request's batch is flushed (automatically at ``max_batch`` rows,
+        or on :meth:`flush` / ``result()``).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        with self._lock:
+            if self._feature_shape is None:
+                if x.ndim < 2:
+                    x = x[None]
+                self._feature_shape = x.shape[1:]
+            elif x.shape == self._feature_shape:
+                x = x[None]          # single unbatched sample
+            if x.shape[1:] != self._feature_shape:
+                raise ValueError(
+                    f"request features {x.shape[1:]} != scheduler "
+                    f"features {self._feature_shape}")
+            if x.shape[0] == 0:
+                raise ValueError("empty request")
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending.append((seq, x))
+            self._pending_rows += x.shape[0]
+            self.stats.requests += 1
+            self.stats.rows += x.shape[0]
+            ticket = PendingPrediction(self, seq, x.shape[0])
+            if self._pending_rows >= self.max_batch:
+                self._flush_locked()
+            return ticket
+
+    def flush(self) -> int:
+        """Run one batched MC call over everything pending.
+
+        Returns the number of requests resolved (0 if nothing pending).
+        """
+        with self._lock:
+            return self._flush_locked()
+
+    @property
+    def pending_rows(self) -> int:
+        with self._lock:
+            return self._pending_rows
+
+    # ------------------------------------------------------------------
+    def _flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self._pending_rows = 0
+        coalesced = np.concatenate([x for _, x in batch], axis=0)
+        result = self.engine.mc_forward_batched(
+            coalesced, n_samples=self.n_samples,
+            chunk_passes=self.chunk_passes)
+        self.stats.flushes += 1
+        if len(batch) > 1:
+            self.stats.coalesced_rows += coalesced.shape[0]
+        lo = 0
+        for seq, x in batch:
+            hi = lo + x.shape[0]
+            self._results[seq] = PredictiveResult.from_samples(
+                result.samples[:, lo:hi])
+            lo = hi
+        # Bound unclaimed-result retention (dicts iterate in insertion
+        # order, so the front is the oldest).
+        while len(self._results) > self.max_retained_results:
+            oldest = next(iter(self._results))
+            del self._results[oldest]
+            self.stats.evicted += 1
+        return len(batch)
+
+    def _has_result(self, seq: int) -> bool:
+        with self._lock:
+            return seq in self._results
+
+    def _resolve(self, seq: int) -> PredictiveResult:
+        with self._lock:
+            if seq not in self._results:
+                self._flush_locked()
+            if seq not in self._results:
+                # Every submitted request lands in _results at its
+                # flush; a missing entry means it was taken or evicted.
+                raise RuntimeError(
+                    f"result for request {seq} was already consumed "
+                    f"or evicted (max_retained_results="
+                    f"{self.max_retained_results})")
+            return self._results.pop(seq)

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro import nn
 from repro.bayesian import (
     AffineDropout,
     ScaleDropout,
@@ -19,7 +17,7 @@ from repro.bayesian import (
     set_mc_mode,
 )
 from repro.devices import DeviceVariability, VariabilityParams
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor
 
 RNG = np.random.default_rng(9)
 

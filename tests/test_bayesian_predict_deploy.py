@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro import nn
 from repro.bayesian import (
     BayesianCim,
     DeepEnsemble,
@@ -15,12 +13,9 @@ from repro.bayesian import (
     make_spindrop_mlp,
     make_subset_vi_mlp,
     mc_predict,
-    mc_predict_fn,
-    set_mc_mode,
-)
+    mc_predict_fn)
 from repro.cim import CimConfig
 from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
-from repro.tensor import Tensor
 
 RNG = np.random.default_rng(17)
 

@@ -13,11 +13,8 @@ from repro.bayesian import (
     elbo_loss,
     make_subset_vi_mlp,
     mc_predict,
-    memory_footprint_bits,
-    set_mc_mode,
-)
-from repro.cim import CimConfig
-from repro.tensor import Tensor, no_grad
+    memory_footprint_bits)
+from repro.tensor import Tensor
 
 RNG = np.random.default_rng(13)
 

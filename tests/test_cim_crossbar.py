@@ -49,6 +49,35 @@ class TestXnorCrossbar:
         out = bar.matvec(x, row_mask=mask)
         np.testing.assert_allclose(out, (x * mask) @ w, atol=1e-9)
 
+    def test_row_mask_gates_per_sample(self):
+        w = _random_binary((6, 4))
+        bar = XnorCrossbar(6, 4)
+        bar.program(w)
+        x = _random_binary((3, 6))
+        masks = np.array([[1, 1, 0, 0, 1, 1],
+                          [0, 1, 1, 1, 1, 0],
+                          [1, 0, 1, 0, 1, 0]], dtype=float)
+        out = bar.matvec(x, row_mask=masks)
+        np.testing.assert_allclose(out, (x * masks) @ w, atol=1e-9)
+
+    def test_row_mask_shape_mismatch_rejected(self):
+        bar = XnorCrossbar(6, 4)
+        bar.program(_random_binary((6, 4)))
+        with pytest.raises(ValueError):
+            bar.matvec(_random_binary((3, 6)),
+                       row_mask=np.ones((2, 6)))
+
+    def test_leading_sample_axis(self):
+        """A stacked (T, N, rows) tensor equals T separate calls."""
+        w = _random_binary((6, 4))
+        bar = XnorCrossbar(6, 4)
+        bar.program(w)
+        x = _random_binary((2, 3, 6))
+        out = bar.matvec(x)
+        assert out.shape == (2, 3, 4)
+        for t in range(2):
+            np.testing.assert_allclose(out[t], x[t] @ w, atol=1e-9)
+
     def test_rejects_non_binary_weights(self):
         bar = XnorCrossbar(4, 4)
         with pytest.raises(ValueError):

@@ -5,9 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.devices import (
-    FAULT_NONE,
-    FAULT_STUCK_AP,
-    FAULT_STUCK_P,
     DefectModel,
     DefectRates,
     DeviceVariability,

@@ -1,6 +1,4 @@
 """Energy model: pricing, analytic specs, method orderings, storage."""
-
-import numpy as np
 import pytest
 
 from repro.cim import OpLedger
@@ -52,7 +50,7 @@ class TestSpecs:
 
     def test_mlp_spec(self):
         spec = mlp_spec(256, (128, 64), 10)
-        assert [l.in_features for l in spec.layers] == [256, 128, 64]
+        assert [layer.in_features for layer in spec.layers] == [256, 128, 64]
         assert spec.total_weights == 256 * 128 + 128 * 64 + 64 * 10
 
     def test_neuron_count(self):
@@ -170,7 +168,7 @@ class TestRendering:
         out = render_table(["a", "bb"], [["1", "22"], ["333", "4"]])
         lines = out.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
 
     def test_render_breakdown_sorted(self):
         out = render_breakdown({"small": 1e-12, "big": 1e-9})

@@ -9,8 +9,6 @@ from repro.bayesian import (
     mc_predict,
 )
 from repro.energy import (
-    AreaModel,
-    LatencyModel,
     lenet_like,
     method_area,
     method_latency_per_image,

@@ -1,7 +1,6 @@
 """Binary layers: ±1 weights, STE, scales, latent clipping."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.tensor import Tensor

@@ -5,7 +5,7 @@ import pytest
 
 from repro import nn
 from repro.nn.module import Parameter
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor
 
 
 def _quadratic_min(optimizer_cls, steps=250, **kwargs):

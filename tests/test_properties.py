@@ -7,7 +7,6 @@ generative coverage.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cim import OpLedger, PopcountADC, XnorCrossbar

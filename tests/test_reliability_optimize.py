@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro import nn
 from repro.bayesian import make_scaledrop_mlp
 from repro.cim import (
     CimConfig,
@@ -14,7 +12,7 @@ from repro.cim import (
     fold_norm_into_scale,
 )
 from repro.cim.optimize import FoldedAffine
-from repro.devices import DefectModel, DeviceVariability, VariabilityParams
+from repro.devices import DefectModel
 from repro.experiments.ablations import calibration_comparison, retention_aging
 from repro.experiments.common import TrainConfig, digits_dataset, train_classifier
 

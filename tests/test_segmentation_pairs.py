@@ -12,7 +12,6 @@ from repro.bayesian import (
     segmentation_loss,
 )
 from repro.data import (
-    N_SEG_CLASSES,
     class_frequencies,
     segmentation_scenes,
     synth_pairs,

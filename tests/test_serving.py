@@ -1,0 +1,189 @@
+"""BatchScheduler: request coalescing over the batched MC engine."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bayesian import BayesianCim, make_spindrop_mlp
+from repro.cim import CimConfig
+from repro.serving import BatchScheduler
+
+RNG = np.random.default_rng(7)
+
+
+def _engine(seed=9):
+    model = make_spindrop_mlp(12, (8,), 3, p=0.3, seed=2)
+    return BayesianCim(model, CimConfig(seed=4), seed=seed)
+
+
+@pytest.fixture
+def engine():
+    return _engine()
+
+
+class TestSubmitAndResolve:
+    def test_result_has_predictive_distribution(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=5, max_batch=16)
+        ticket = scheduler.submit(RNG.standard_normal((3, 12)))
+        result = ticket.result()
+        assert result.probs.shape == (3, 3)
+        assert result.samples.shape == (5, 3, 3)
+        np.testing.assert_allclose(result.probs.sum(axis=-1), 1.0,
+                                   rtol=1e-9)
+        assert result.mutual_information.shape == (3,)
+
+    def test_unbatched_sample_after_first_request(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=16)
+        scheduler.submit(RNG.standard_normal((2, 12)))
+        single = scheduler.submit(RNG.standard_normal(12))
+        assert single.result().probs.shape == (1, 3)
+
+    def test_feature_mismatch_rejected(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=16)
+        scheduler.submit(RNG.standard_normal((2, 12)))
+        with pytest.raises(ValueError):
+            scheduler.submit(RNG.standard_normal((2, 7)))
+
+    def test_auto_flush_at_max_batch(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=4)
+        a = scheduler.submit(RNG.standard_normal((2, 12)))
+        assert not a.done()
+        b = scheduler.submit(RNG.standard_normal((2, 12)))
+        assert a.done() and b.done()
+        assert scheduler.pending_rows == 0
+        assert scheduler.stats.flushes == 1
+        assert scheduler.stats.coalesced_rows == 4
+
+    def test_result_forces_flush(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=64)
+        ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+        assert not ticket.done()
+        assert ticket.result().probs.shape == (2, 3)
+        assert scheduler.stats.flushes == 1
+
+    def test_flush_empty_is_noop(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3)
+        assert scheduler.flush() == 0
+        assert scheduler.stats.flushes == 0
+
+
+class TestCoalescingSemantics:
+    def test_coalesced_equals_one_direct_batched_call(self):
+        """Coalescing is invisible: slices of one mc_forward_batched."""
+        x1 = RNG.standard_normal((3, 12))
+        x2 = RNG.standard_normal((5, 12))
+
+        scheduler = BatchScheduler(_engine(seed=21), n_samples=4,
+                                   max_batch=64)
+        t1 = scheduler.submit(x1)
+        t2 = scheduler.submit(x2)
+        scheduler.flush()
+
+        direct = _engine(seed=21).mc_forward_batched(
+            np.concatenate([x1, x2]), n_samples=4)
+        np.testing.assert_array_equal(t1.result().samples,
+                                      direct.samples[:, :3])
+        np.testing.assert_array_equal(t2.result().samples,
+                                      direct.samples[:, 3:])
+
+    def test_oversized_request_accepted_whole(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=4)
+        ticket = scheduler.submit(RNG.standard_normal((9, 12)))
+        assert ticket.done()            # flushed immediately, unsplit
+        assert ticket.result().probs.shape == (9, 3)
+
+    def test_stats_track_requests_and_rows(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=64)
+        scheduler.submit(RNG.standard_normal((2, 12)))
+        scheduler.submit(RNG.standard_normal((3, 12)))
+        scheduler.flush()
+        assert scheduler.stats.requests == 2
+        assert scheduler.stats.rows == 5
+        assert scheduler.stats.mean_rows_per_flush == 5.0
+
+
+class TestConcurrency:
+    def test_threaded_submits_all_resolve(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=8)
+        tickets = []
+        lock = threading.Lock()
+
+        def worker(i):
+            x = np.random.default_rng(i).standard_normal((2, 12))
+            ticket = scheduler.submit(x)
+            with lock:
+                tickets.append(ticket)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        scheduler.flush()
+        assert len(tickets) == 10
+        for ticket in tickets:
+            assert ticket.result().probs.shape == (2, 3)
+        assert scheduler.stats.rows == 20
+
+
+class TestValidation:
+    def test_bad_params_rejected(self, engine):
+        with pytest.raises(ValueError):
+            BatchScheduler(engine, n_samples=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(engine, max_batch=0)
+
+    def test_empty_request_rejected(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3)
+        with pytest.raises(ValueError):
+            scheduler.submit(np.zeros((0, 12)))
+
+    def test_double_result_raises_clear_error(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3)
+        ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+        ticket.result()
+        with pytest.raises(RuntimeError, match="already consumed"):
+            ticket.result()
+
+    def test_abandoned_results_evicted_at_cap(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64,
+                                   max_retained_results=2)
+        abandoned = scheduler.submit(RNG.standard_normal((1, 12)))
+        scheduler.flush()
+        kept = [scheduler.submit(RNG.standard_normal((1, 12)))
+                for _ in range(2)]
+        scheduler.flush()
+        assert scheduler.stats.evicted == 1
+        with pytest.raises(RuntimeError, match="evicted"):
+            abandoned.result()
+        for ticket in kept:               # newest results survive
+            assert ticket.result().probs.shape == (1, 3)
+
+
+class TestMultiDimFeatures:
+    """Image engines: feature shapes with more than one axis."""
+
+    def _cnn_engine(self):
+        from repro.bayesian import make_spatial_spindrop_cnn
+
+        model = make_spatial_spindrop_cnn(1, 12, 4, widths=(4, 8), seed=3)
+        return BayesianCim(model, CimConfig(seed=5), seed=6)
+
+    def test_explicit_feature_shape_allows_unbatched_image(self):
+        scheduler = BatchScheduler(self._cnn_engine(), n_samples=2,
+                                   feature_shape=(1, 12, 12))
+        single = scheduler.submit(RNG.standard_normal((1, 12, 12)))
+        batch = scheduler.submit(RNG.standard_normal((3, 1, 12, 12)))
+        scheduler.flush()
+        assert single.result().probs.shape == (1, 4)
+        assert batch.result().probs.shape == (3, 4)
+
+    def test_inferred_feature_shape_from_batched_first_request(self):
+        scheduler = BatchScheduler(self._cnn_engine(), n_samples=2)
+        first = scheduler.submit(RNG.standard_normal((2, 1, 12, 12)))
+        single = scheduler.submit(RNG.standard_normal((1, 12, 12)))
+        scheduler.flush()
+        assert first.result().probs.shape == (2, 4)
+        assert single.result().probs.shape == (1, 4)

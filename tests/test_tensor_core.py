@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, no_grad, is_grad_enabled, functional as F
+from repro.tensor import Tensor, no_grad, is_grad_enabled
 
 
 class TestConstruction:

@@ -6,7 +6,6 @@ Bayesian methods.
 """
 
 import numpy as np
-import pytest
 
 from repro.tensor import Tensor, functional as F, gradcheck
 

@@ -10,7 +10,6 @@ from repro.uncertainty import (
     brier_score,
     detect,
     expected_calibration_error,
-    expected_entropy,
     max_probability,
     mutual_information,
     nll,
