@@ -10,7 +10,7 @@ bit-precision" the paper describes.
 Run:  python examples/spinbayes_design_space.py
 """
 
-from repro.bayesian import SpinBayesNetwork, make_subset_vi_mlp, mc_predict_fn
+from repro.bayesian import SpinBayesNetwork, make_subset_vi_mlp
 from repro.cim import CimConfig
 from repro.data import synth_digits, train_test_split
 from repro.energy import format_energy, price_ledger, render_table
@@ -36,7 +36,7 @@ def main() -> None:
                 teacher, n_components=n_components, n_levels=n_levels,
                 config=CimConfig(seed=3 + n_components), seed=3)
             net.ledger.reset()
-            result = mc_predict_fn(net.forward, x_eval, n_samples=20)
+            result = net.mc_forward(x_eval, n_samples=20)
             joules, _ = price_ledger(net.ledger)
             acc = (result.predictions == y_eval).mean()
             rows.append([

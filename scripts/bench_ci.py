@@ -1,18 +1,22 @@
 """CI benchmark gate: batched MC inference must beat sequential.
 
-Times T-pass Monte-Carlo inference through the deployed CIM chain on
-the Table-I (fast preset) SpinDrop MLP, once through the original
-sequential per-pass loop and once through the batched engine, verifies
-the two are bit-for-bit identical, writes the measurements to
-``BENCH_mc_forward.json``, and exits non-zero if the batched path is
-not at least ``--min-speedup`` (default 3×) faster.
+Times T-pass Monte-Carlo inference through the deployed CIM chain for
+BOTH deployed engines — the Table-I (fast preset) SpinDrop MLP on
+:class:`BayesianCim`, and the subset-VI teacher deployed as a
+:class:`SpinBayesNetwork` (N crossbars + arbiter per layer) — once
+through the original sequential per-pass loop and once through the
+batched engine.  For each engine it verifies the two paths are
+bit-for-bit identical (samples and ledger totals), writes the
+measurements to ``BENCH_mc_forward.json``, and exits non-zero if
+either batched path is not at least ``--min-speedup`` (default 3×)
+faster.
 
 Run locally from a source checkout:
 
     python scripts/bench_ci.py
 
 CI runs it as a separate job so a perf regression in the batched
-engine fails the build even when all functional tests pass.
+engines fails the build even when all functional tests pass.
 """
 
 import argparse
@@ -22,12 +26,22 @@ import sys
 import time
 
 try:
-    from repro.bayesian import BayesianCim, make_spindrop_mlp
+    from repro.bayesian import (
+        BayesianCim,
+        SpinBayesNetwork,
+        make_spindrop_mlp,
+        make_subset_vi_mlp,
+    )
     from repro.cim import CimConfig
 except ImportError:  # source checkout without install
     sys.path.insert(0, os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
-    from repro.bayesian import BayesianCim, make_spindrop_mlp
+    from repro.bayesian import (
+        BayesianCim,
+        SpinBayesNetwork,
+        make_spindrop_mlp,
+        make_subset_vi_mlp,
+    )
     from repro.cim import CimConfig
 
 import numpy as np
@@ -41,6 +55,12 @@ DROPOUT_P = 0.25
 BATCH = 12
 N_SAMPLES = 20
 REPEATS = 5
+# SpinBayes serving slice: the batched engine's payoff is the
+# low-latency regime where per-pass Python overhead dominates, so the
+# gate times a small coalesced batch (the scheduler's common case).
+SPINBAYES_BATCH = 4
+SPINBAYES_COMPONENTS = 8
+SPINBAYES_LEVELS = 16
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -58,6 +78,49 @@ def _engine() -> BayesianCim:
     return BayesianCim(model, CimConfig(seed=0), seed=0)
 
 
+def _spinbayes_engine() -> SpinBayesNetwork:
+    teacher = make_subset_vi_mlp(IN_FEATURES, HIDDEN, N_CLASSES, seed=0)
+    return SpinBayesNetwork.from_subset_vi(
+        teacher, n_components=SPINBAYES_COMPONENTS,
+        n_levels=SPINBAYES_LEVELS, config=CimConfig(seed=0), seed=0)
+
+
+def _gate_engine(name, make_engine, x, n_samples, min_speedup):
+    """Equivalence check + timed gate for one engine; returns a record."""
+    check_seq = make_engine()
+    check_bat = make_engine()
+    check_seq.ledger.reset()
+    check_bat.ledger.reset()
+    seq_result = check_seq.mc_forward(x, n_samples=n_samples, batched=False)
+    bat_result = check_bat.mc_forward_batched(x, n_samples=n_samples)
+    if not np.array_equal(seq_result.samples, bat_result.samples):
+        print(f"FAIL: {name} batched MC output differs from sequential")
+        return None
+    if check_seq.ledger.as_dict() != check_bat.ledger.as_dict():
+        print(f"FAIL: {name} batched MC ledger differs from sequential")
+        return None
+
+    engine = make_engine()
+    engine.mc_forward(x[:2], n_samples=2, batched=False)
+    engine.mc_forward_batched(x[:2], n_samples=2)
+    seq_s = _best_of(
+        lambda: engine.mc_forward(x, n_samples=n_samples, batched=False),
+        REPEATS)
+    bat_s = _best_of(
+        lambda: engine.mc_forward_batched(x, n_samples=n_samples),
+        REPEATS)
+    return {
+        "batch": len(x),
+        "n_samples": n_samples,
+        "repeats": REPEATS,
+        "sequential_s": seq_s,
+        "batched_s": bat_s,
+        "speedup": seq_s / bat_s,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--min-speedup", type=float,
@@ -70,59 +133,48 @@ def main() -> int:
     parser.add_argument("--batch", type=int, default=BATCH)
     args = parser.parse_args()
 
-    x = np.random.default_rng(1).standard_normal((args.batch, IN_FEATURES))
-    engine = _engine()
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((args.batch, IN_FEATURES))
+    x_spin = rng.standard_normal((SPINBAYES_BATCH, IN_FEATURES))
 
     # Correctness guard before timing: seeded batched output must match
     # the sequential loop bit-for-bit, with identical ledger totals.
-    check_seq = _engine()
-    check_bat = _engine()
-    check_seq.ledger.reset()
-    check_bat.ledger.reset()
-    seq_result = check_seq.mc_forward(x, n_samples=args.samples,
-                                      batched=False)
-    bat_result = check_bat.mc_forward_batched(x, n_samples=args.samples)
-    if not np.array_equal(seq_result.samples, bat_result.samples):
-        print("FAIL: batched MC output differs from sequential")
+    spindrop = _gate_engine("spindrop", _engine, x, args.samples,
+                            args.min_speedup)
+    if spindrop is None:
         return 1
-    if check_seq.ledger.as_dict() != check_bat.ledger.as_dict():
-        print("FAIL: batched MC ledger differs from sequential")
+    spinbayes = _gate_engine("spinbayes", _spinbayes_engine, x_spin,
+                             args.samples, args.min_speedup)
+    if spinbayes is None:
         return 1
+    spindrop["model"] = (f"spindrop_mlp {IN_FEATURES}-"
+                         f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}")
+    spinbayes["model"] = (f"spinbayes {IN_FEATURES}-"
+                          f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES} "
+                          f"N={SPINBAYES_COMPONENTS} "
+                          f"levels={SPINBAYES_LEVELS}")
 
-    # Warm up both paths, then time best-of-N.
-    engine.mc_forward(x[:2], n_samples=2, batched=False)
-    engine.mc_forward_batched(x[:2], n_samples=2)
-    seq_s = _best_of(
-        lambda: engine.mc_forward(x, n_samples=args.samples, batched=False),
-        REPEATS)
-    bat_s = _best_of(
-        lambda: engine.mc_forward_batched(x, n_samples=args.samples),
-        REPEATS)
-    speedup = seq_s / bat_s
-
-    record = {
-        "model": f"spindrop_mlp {IN_FEATURES}-"
-                 f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}",
-        "batch": args.batch,
-        "n_samples": args.samples,
-        "repeats": REPEATS,
-        "sequential_s": seq_s,
-        "batched_s": bat_s,
-        "speedup": speedup,
-        "min_speedup": args.min_speedup,
-        "bit_exact": True,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    # Top-level keys keep the PR-1 layout (the SpinDrop engine);
+    # per-engine sections carry both gates.
+    record = dict(spindrop)
+    record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes}
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
 
-    print(f"sequential: {seq_s * 1e3:8.2f} ms")
-    print(f"batched:    {bat_s * 1e3:8.2f} ms")
-    print(f"speedup:    {speedup:8.2f}x  (gate: >= {args.min_speedup}x)")
+    failed = False
+    for name, entry in record["engines"].items():
+        print(f"[{name}] sequential: {entry['sequential_s'] * 1e3:8.2f} ms")
+        print(f"[{name}] batched:    {entry['batched_s'] * 1e3:8.2f} ms")
+        print(f"[{name}] speedup:    {entry['speedup']:8.2f}x  "
+              f"(gate: >= {args.min_speedup}x)")
+        if entry["speedup"] < args.min_speedup:
+            print(f"FAIL: {name} batched engine below the "
+                  f"{args.min_speedup}x gate")
+            failed = True
     print(f"record written to {args.out}")
-    if speedup < args.min_speedup:
-        print(f"FAIL: batched engine below the {args.min_speedup}x gate")
+    if failed:
         return 1
     print("PASS")
     return 0

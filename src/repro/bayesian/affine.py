@@ -70,10 +70,25 @@ class AffineDropout(StochasticModule):
             dropped_b = bool(self.rng.random() < self.p)
         return (0.0 if dropped_w else 1.0), (0.0 if dropped_b else 1.0)
 
+    def mc_draw_pass(self, batch: int) -> np.ndarray:
+        """One MC pass's (gamma_mask, beta_mask) scalar pair."""
+        return np.asarray(self.sample_masks(), dtype=np.float64)
+
     def forward(self, x: Tensor) -> Tensor:
         if self.stochastic_active:
-            gamma_mask, beta_mask = self.sample_masks()
-            self.norm.set_affine_masks(gamma_mask, beta_mask)
+            if self._mc_bank is not None:
+                # (P, 2) bank of scalar pairs, expanded to one mask per
+                # row of the stacked (P·N, …) batch.
+                gamma_mask = np.repeat(self._mc_bank[:, 0], self._mc_rows)
+                beta_mask = np.repeat(self._mc_bank[:, 1], self._mc_rows)
+                if gamma_mask.shape[0] != x.shape[0]:
+                    raise ValueError(
+                        f"affine bank rows {gamma_mask.shape[0]} != "
+                        f"batch {x.shape[0]}")
+                self.norm.set_affine_masks(gamma_mask, beta_mask)
+            else:
+                gamma_mask, beta_mask = self.sample_masks()
+                self.norm.set_affine_masks(gamma_mask, beta_mask)
         else:
             self.norm.set_affine_masks(None, None)
         try:

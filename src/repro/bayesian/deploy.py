@@ -316,13 +316,9 @@ class BayesianCim:
         # Pass-invariant prefix: run once, book T-fold.
         h = x
         if split > 0:
-            before = dict(self.ledger.counts)
-            for stage in stages[:split]:
-                h = stage(h)
-            for op, count in self.ledger.counts.items():
-                delta = count - before.get(op, 0)
-                if delta > 0:
-                    self.ledger.add(op, delta * (n_samples - 1))
+            with self.ledger.amortized(n_samples):
+                for stage in stages[:split]:
+                    h = stage(h)
 
         outs = []
         try:

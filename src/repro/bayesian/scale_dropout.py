@@ -135,14 +135,35 @@ class ScaleDropout(StochasticModule):
             return self.scale
         return self.scale * self.drop_scale
 
+    def mc_draw_pass(self, batch: int) -> float:
+        """One MC pass's scalar keep-decision (shared by the whole
+        batch, exactly as in a sequential pass)."""
+        return self.sample_mask()
+
+    def _banked_scale(self, x: Tensor) -> Tensor:
+        """Per-row effective scale from the installed (P,) keep bank."""
+        keeps = np.repeat(self._mc_bank, self._mc_rows)
+        if keeps.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"scale bank rows {keeps.shape[0]} != batch {x.shape[0]}")
+        modulation = np.where(keeps >= 1.0, 1.0, self.drop_scale)
+        column = modulation.reshape((-1,) + (1,) * (x.ndim - 1))
+        base = self.scale
+        if self.spatial:
+            from repro.tensor import functional as F
+            base = F.reshape(base, (1, -1, 1, 1))
+        return base * Tensor(column)
+
     def forward(self, x: Tensor) -> Tensor:
+        if self.spatial and x.ndim != 4:
+            raise ValueError("spatial ScaleDropout expects (N, C, H, W)")
+        if self.stochastic_active and self._mc_bank is not None:
+            return x * self._banked_scale(x)
         if self.stochastic_active:
             scale = self.effective_scale(self.sample_mask())
         else:
             scale = self.scale
         if self.spatial:
-            if x.ndim != 4:
-                raise ValueError("spatial ScaleDropout expects (N, C, H, W)")
             from repro.tensor import functional as F
             return x * F.reshape(scale, (1, -1, 1, 1))
         return x * scale

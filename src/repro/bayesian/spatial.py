@@ -66,12 +66,22 @@ class SpatialSpinDropout(StochasticModule):
             drops = bits.reshape(batch, self.n_channels) > 0.5
         return (~drops).astype(np.float64)
 
+    def mc_draw_pass(self, batch: int) -> np.ndarray:
+        """One MC pass's (batch, C) channel keep-mask (already per-row)."""
+        return self.sample_channel_mask(batch)
+
     def forward(self, x: Tensor) -> Tensor:
         if not self.stochastic_active:
             return x
         if x.ndim != 4:
             raise ValueError("SpatialSpinDropout expects (N, C, H, W)")
-        mask = self.sample_channel_mask(x.shape[0])
+        if self._mc_bank is not None:
+            mask = self._mc_bank.reshape(-1, self.n_channels)
+            if mask.shape[0] != x.shape[0]:
+                raise ValueError(
+                    f"mask bank rows {mask.shape[0]} != batch {x.shape[0]}")
+        else:
+            mask = self.sample_channel_mask(x.shape[0])
         return x * Tensor(mask[:, :, None, None])
 
 

@@ -80,13 +80,24 @@ class SpinDropout(StochasticModule):
             drops = bits.reshape(batch, self.n_features) > 0.5
         return (~drops).astype(np.float64)
 
+    def mc_draw_pass(self, batch: int) -> np.ndarray:
+        """One MC pass's (batch, F) keep-mask — the masks are per-row
+        already, so the stacked path just concatenates T of them."""
+        return self.sample_mask(batch)
+
     def forward(self, x: Tensor) -> Tensor:
         if not self.stochastic_active:
             return x
-        mask = self.sample_mask(x.shape[0])
         if x.ndim != 2:
             raise ValueError("SpinDropout expects (N, F) activations; use "
                              "SpatialSpinDropout for feature maps")
+        if self._mc_bank is not None:
+            mask = self._mc_bank.reshape(-1, self.n_features)
+            if mask.shape[0] != x.shape[0]:
+                raise ValueError(
+                    f"mask bank rows {mask.shape[0]} != batch {x.shape[0]}")
+        else:
+            mask = self.sample_mask(x.shape[0])
         return x * Tensor(mask)
 
 

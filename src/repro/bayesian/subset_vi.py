@@ -24,7 +24,7 @@ import numpy as np
 from repro.bayesian.base import StochasticModule
 from repro.nn.module import Parameter
 from repro.nn.losses import gaussian_kl
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, no_grad
 
 
 class BayesianScale(StochasticModule):
@@ -69,11 +69,29 @@ class BayesianScale(StochasticModule):
         sigma = np.exp(self.log_sigma.data)
         return self.mu.data + sigma * self.rng.standard_normal(self.n_features)
 
+    def mc_draw_pass(self, batch: int) -> np.ndarray:
+        """One MC pass's posterior scale sample (shared by the batch).
+
+        Delegates to :meth:`sample_scale` so the posterior arithmetic
+        and RNG stream live in exactly one place; the stacked path
+        never needs gradients, so the tape stays off.
+        """
+        with no_grad():
+            return self.sample_scale().data
+
     def forward(self, x: Tensor) -> Tensor:
+        if self.spatial and x.ndim != 4:
+            raise ValueError("spatial BayesianScale expects (N, C, H, W)")
+        if self.stochastic_active and self._mc_bank is not None:
+            rows = np.repeat(self._mc_bank, self._mc_rows, axis=0)
+            if rows.shape[0] != x.shape[0]:
+                raise ValueError(
+                    f"scale bank rows {rows.shape[0]} != batch {x.shape[0]}")
+            if self.spatial:
+                return x * Tensor(rows[:, :, None, None])
+            return x * Tensor(rows)
         scale = self.sample_scale() if self.stochastic_active else self.mu
         if self.spatial:
-            if x.ndim != 4:
-                raise ValueError("spatial BayesianScale expects (N, C, H, W)")
             return x * F.reshape(scale, (1, -1, 1, 1))
         return x * scale
 

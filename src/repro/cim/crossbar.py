@@ -276,6 +276,29 @@ class AnalogCrossbar:
         frac = (self._g - g_lo) / (g_hi - g_lo)
         return self._v_min + np.clip(frac, 0.0, 1.0) * (self._v_max - self._v_min)
 
+    def _decode(self, g: np.ndarray) -> np.ndarray:
+        """Conductances → value-scale MVM operand.
+
+        The offset term (g_lo) is removed by the reference column in
+        hardware; the generous clip keeps noise-perturbed conductances
+        on the decode line instead of saturating them.
+        """
+        g_lo, g_hi = self.params.g_ap, self.params.g_p
+        return (self._v_min
+                + np.clip((g - g_lo) / (g_hi - g_lo), -0.5, 1.5)
+                * (self._v_max - self._v_min))
+
+    def mvm_values(self) -> np.ndarray:
+        """The noise-free MVM operand: decoded (n_rows, n_cols) values.
+
+        Exactly the matrix :meth:`matvec` multiplies by when no read
+        noise is configured — exposed so batched engines can reuse
+        crossbar operands without re-decoding conductances per call.
+        """
+        if self._g is None:
+            raise RuntimeError("crossbar not programmed")
+        return self._decode(self._g)
+
     def matvec(self, inputs: np.ndarray) -> np.ndarray:
         """Analog MVM: (..., n_rows) voltages → (..., n_cols) decoded values.
 
@@ -291,12 +314,7 @@ class AnalogCrossbar:
         g = self._g
         if self.variability is not None:
             g = self.variability.read_noise(g)
-        g_lo, g_hi = self.params.g_ap, self.params.g_p
-        # Decode conductances to values on the fly; the offset term
-        # (g_lo) is removed by the reference column in hardware.
-        values = (self._v_min
-                  + np.clip((g - g_lo) / (g_hi - g_lo), -0.5, 1.5)
-                  * (self._v_max - self._v_min))
+        values = self._decode(g)
         out = inputs @ values
         batch = inputs.shape[0]
         self.ledger.add("crossbar_cell_access", self.n_rows * self.n_cols * batch)

@@ -10,6 +10,7 @@ outcomes.
 
 from __future__ import annotations
 
+import contextlib
 from collections import Counter
 from typing import Dict, Iterable
 
@@ -40,6 +41,23 @@ class OpLedger:
 
     def merge(self, other: "OpLedger") -> None:
         self.counts.update(other.counts)
+
+    @contextlib.contextmanager
+    def amortized(self, repeats: int):
+        """Book the operations of the enclosed block ``repeats`` times.
+
+        The memoization primitive of the batched MC engines: a
+        pass-invariant network prefix is *evaluated* once but the
+        hardware still performs it on every pass, so the ops booked
+        inside the block are re-added ``repeats - 1`` extra times.
+        """
+        before = dict(self.counts)
+        yield
+        if repeats > 1:
+            for op, count in list(self.counts.items()):
+                delta = count - before.get(op, 0)
+                if delta > 0:
+                    self.add(op, delta * (repeats - 1))
 
     def scaled(self, factor: float) -> "OpLedger":
         """Return a copy with all counts multiplied (e.g. per-image)."""

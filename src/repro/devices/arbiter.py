@@ -61,6 +61,7 @@ class SpintronicArbiter:
         self._stage_rng = SpintronicRNG(
             self.n_stages, p=0.5, mtj_params=mtj_params,
             variability=variability, rng=rng)
+        self._cdf = np.concatenate([[0.0], np.cumsum(self.weights)])
         self.selections = 0
 
     # ------------------------------------------------------------------
@@ -74,7 +75,7 @@ class SpintronicArbiter:
         reduces to a plain binary search on fair coins.
         """
         lo, hi = 0, self.n_choices  # half-open interval of candidates
-        cdf = np.concatenate([[0.0], np.cumsum(self.weights)])
+        cdf = self._cdf
         for _ in range(self.n_stages):
             if hi - lo <= 1:
                 # Interval resolved early; still burn the stage cycle

@@ -82,8 +82,14 @@ class SpintronicRNG:
         Bits are produced round-robin across the module bank; each bit
         is one SET→read→RESET cycle on its module.
         """
-        module_idx = np.arange(n_bits) % self.n_modules
-        probs = self.effective_p[module_idx]
+        if n_bits == 1:
+            # Fast path for single-bit draws (arbiter stages, scale
+            # masks): module 0, one double off the stream — identical
+            # bits to the general path, without the index arithmetic.
+            probs = self.effective_p[:1]
+        else:
+            module_idx = np.arange(n_bits) % self.n_modules
+            probs = self.effective_p[module_idx]
         bits = (self.rng.random(n_bits) < probs).astype(np.float64)
         self.set_ops += n_bits
         self.read_ops += n_bits

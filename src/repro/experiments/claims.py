@@ -26,7 +26,6 @@ from repro.bayesian import (
     make_spindrop_mlp,
     make_subset_vi_mlp,
     mc_predict,
-    mc_predict_fn,
     memory_footprint_bits,
     deterministic_predict,
     set_mc_mode,
@@ -429,18 +428,15 @@ def run_c6_spinbayes(fast: bool = True, seed: int = 0) -> SpinBayesClaims:
     net = SpinBayesNetwork.from_subset_vi(
         teacher, n_components=8, n_levels=16,
         config=CimConfig(seed=seed + 1), seed=seed + 1)
-    result = mc_predict_fn(net.forward, x_eval,
-                           n_samples=config.mc_samples)
+    result = net.mc_forward(x_eval, n_samples=config.mc_samples)
 
     id_scores = result.predictive_entropy
     letters = ood.letters(n_eval, size=data.image_size, seed=seed + 2)
     noise = ood.uniform_noise(n_eval, data.n_features, seed=seed + 3)
-    letters_scores = mc_predict_fn(
-        net.forward, letters, n_samples=config.mc_samples
-    ).predictive_entropy
-    noise_scores = mc_predict_fn(
-        net.forward, noise, n_samples=config.mc_samples
-    ).predictive_entropy
+    letters_scores = net.mc_forward(
+        letters, n_samples=config.mc_samples).predictive_entropy
+    noise_scores = net.mc_forward(
+        noise, n_samples=config.mc_samples).predictive_entropy
 
     return SpinBayesClaims(
         teacher_accuracy=mc_accuracy(teacher_result, y_eval),

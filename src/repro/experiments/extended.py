@@ -27,7 +27,6 @@ from repro.bayesian import (
     make_bayesian_segmenter,
     make_subset_vi_mlp,
     mc_predict,
-    mc_predict_fn,
     mc_segment,
     pixel_maps,
     segmentation_loss,
@@ -141,8 +140,7 @@ def run_100class_experiment(fast: bool = True, seed: int = 0
         model, n_components=8, n_levels=16,
         config=CimConfig(seed=seed + 2), seed=seed + 2)
     n_eval = 400 if fast else 1000
-    result = mc_predict_fn(net.forward, xte[:n_eval],
-                           n_samples=config.mc_samples)
+    result = net.mc_forward(xte[:n_eval], n_samples=config.mc_samples)
     spin_acc = mc_accuracy(result, yte[:n_eval])
     top5 = np.argsort(-result.probs, axis=1)[:, :5]
     top5_acc = float(np.any(top5 == yte[:n_eval, None], axis=1).mean())

@@ -29,7 +29,6 @@ from repro.bayesian import (
     SpinBayesNetwork,
     make_scaledrop_mlp,
     make_subset_vi_mlp,
-    mc_predict_fn,
 )
 from repro.cim import (
     CimConfig,
@@ -186,8 +185,7 @@ def run_fig3_spinbayes(fast: bool = True, seed: int = 0,
                 teacher, n_components=n_comp, n_levels=n_levels,
                 config=CimConfig(seed=seed + n_comp), seed=seed + n_comp)
             net.ledger.reset()
-            result = mc_predict_fn(net.forward, x_eval,
-                                   n_samples=config.mc_samples)
+            result = net.mc_forward(x_eval, n_samples=config.mc_samples)
             joules, _ = price_ledger(net.ledger)
             selections = [layer.arbiter.empirical_distribution(512)
                           for layer in net.mvm_layers()

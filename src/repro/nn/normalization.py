@@ -57,17 +57,26 @@ class InvertedNorm(Module):
         self._beta_mask: Optional[float] = None
 
     # ------------------------------------------------------------------
-    def set_affine_masks(self, gamma_mask: Optional[float],
-                         beta_mask: Optional[float]) -> None:
-        """Install scalar dropout masks for the next forward pass.
+    def set_affine_masks(self, gamma_mask, beta_mask) -> None:
+        """Install dropout masks for the next forward pass.
 
         Affine Dropout semantics (Sec. III-A.4): a dropped *weight*
         (gamma) is replaced by one and a dropped *bias* (beta) by zero,
         i.e. ``gamma' = m_g * gamma + (1 - m_g)`` and
-        ``beta' = m_b * beta`` with scalar Bernoulli masks.
+        ``beta' = m_b * beta``.  Masks are scalars for one MC pass, or
+        1-D arrays of per-row values (one entry per sample of a stacked
+        ``(T·N, …)`` batch) in the batched MC path.
         """
         self._gamma_mask = gamma_mask
         self._beta_mask = beta_mask
+
+    def _mask_operand(self, mask):
+        """Align a per-row mask bank against the batch axis."""
+        if mask is None or np.ndim(mask) == 0:
+            return mask
+        extra = 3 if self.spatial else 1
+        return np.asarray(mask, dtype=np.float64).reshape(
+            (-1,) + (1,) * extra)
 
     def _param_shape(self) -> Tuple[int, ...]:
         return (1, self.num_features, 1, 1) if self.spatial else (1, self.num_features)
@@ -81,9 +90,10 @@ class InvertedNorm(Module):
         beta = F.reshape(self.beta, shape)
         if self._gamma_mask is not None:
             # m=1 keeps gamma, m=0 replaces it with identity (one).
-            gamma = gamma * self._gamma_mask + (1.0 - self._gamma_mask)
+            gamma_mask = self._mask_operand(self._gamma_mask)
+            gamma = gamma * gamma_mask + (1.0 - gamma_mask)
         if self._beta_mask is not None:
-            beta = beta * self._beta_mask
+            beta = beta * self._mask_operand(self._beta_mask)
 
         # Affine first (the "inverted" part) ...
         transformed = x * gamma + beta

@@ -1,13 +1,15 @@
-"""Serving layer: request coalescing over the batched MC engine."""
+"""Serving layer: request coalescing over the batched MC engines."""
 
 from repro.serving.scheduler import (
     BatchScheduler,
     PendingPrediction,
     SchedulerStats,
 )
+from repro.serving.sharded import ShardedScheduler
 
 __all__ = [
     "BatchScheduler",
     "PendingPrediction",
     "SchedulerStats",
+    "ShardedScheduler",
 ]

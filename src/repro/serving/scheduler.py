@@ -1,7 +1,8 @@
 """Request coalescing for batched Monte-Carlo inference.
 
-The batched MC engine (:meth:`repro.bayesian.BayesianCim.
-forward_batched`) amortizes the T-pass Monte-Carlo loop over one
+The batched MC engines (:meth:`repro.bayesian.BayesianCim.
+forward_batched`, :meth:`repro.bayesian.SpinBayesNetwork.
+forward_batched`) amortize the T-pass Monte-Carlo loop over one
 stacked tensor; :class:`BatchScheduler` amortizes it over *requests*
 as well.  Concurrent callers submit inputs of any size, the scheduler
 concatenates them into one coalesced batch, runs a single batched MC
@@ -12,14 +13,26 @@ traffic" goal.
 Coalescing changes nothing about a request's semantics: every MC pass
 draws one mask bank shared across the whole coalesced batch, exactly
 as a single ``mc_forward`` call over the concatenated inputs would
-(and, under a fixed seed, exactly *bit-for-bit* that call).
+(and, under a fixed seed, exactly *bit-for-bit* that call).  Requests
+may ask for their own sample count T; at flush time pending requests
+are grouped by T and each group runs as one engine call, so the
+invariant holds per group.
+
+Flushes happen when the pending rows reach ``max_batch``, on an
+explicit :meth:`BatchScheduler.flush` or ``result()`` call, or — when
+``flush_interval`` is set — automatically once the oldest pending
+request has waited that many seconds (the latency deadline of a
+lightly-loaded service).
+
+:class:`~repro.serving.sharded.ShardedScheduler` extends the flush
+step to spread one coalesced batch across multiple engine replicas.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -32,13 +45,24 @@ class SchedulerStats:
 
     requests: int = 0
     rows: int = 0
-    flushes: int = 0
+    flushes: int = 0             # engine calls (one per T-group per flush)
     coalesced_rows: int = 0      # rows that shared a flush with another request
     evicted: int = 0             # unclaimed results dropped at the cap
+    timer_flushes: int = 0       # flushes triggered by the deadline timer
+    shard_calls: int = 0         # per-replica engine calls (sharded scheduler)
 
     @property
     def mean_rows_per_flush(self) -> float:
         return self.rows / self.flushes if self.flushes else 0.0
+
+
+@dataclasses.dataclass
+class _Request:
+    """One submitted request waiting for its flush."""
+
+    seq: int
+    x: np.ndarray
+    n_samples: int
 
 
 class PendingPrediction:
@@ -46,14 +70,16 @@ class PendingPrediction:
 
     ``result()`` returns the request's own :class:`PredictiveResult`
     (predictive mean probabilities, per-pass samples, and therefore
-    every uncertainty score).  Calling it before the scheduler has
-    flushed forces a flush of the current pending batch.
+    every uncertainty score).  Calling it while the request is still
+    pending forces a flush of the current pending batch.
     """
 
-    def __init__(self, scheduler: "BatchScheduler", seq: int, n_rows: int):
+    def __init__(self, scheduler: "BatchScheduler", seq: int, n_rows: int,
+                 n_samples: int):
         self._scheduler = scheduler
         self._seq = seq
         self.n_rows = n_rows
+        self.n_samples = n_samples
 
     def done(self) -> bool:
         return self._scheduler._has_result(self._seq)
@@ -70,10 +96,13 @@ class BatchScheduler:
     engine:
         Any object exposing ``mc_forward_batched(x, n_samples=...,
         chunk_passes=...) -> PredictiveResult`` — normally a
-        :class:`~repro.bayesian.BayesianCim`.
+        :class:`~repro.bayesian.BayesianCim` or
+        :class:`~repro.bayesian.SpinBayesNetwork`.
     n_samples:
-        Monte-Carlo passes per flush (the T of the predictive
-        distribution every request receives).
+        Default Monte-Carlo passes per request (the T of the
+        predictive distribution); individual requests may override it
+        via ``submit(x, n_samples=...)``.  At flush time pending
+        requests are grouped by T, one engine call per distinct T.
     max_batch:
         Flush automatically once the pending rows reach this count.
         Requests larger than ``max_batch`` are accepted and flushed
@@ -84,10 +113,11 @@ class BatchScheduler:
     feature_shape:
         Per-sample input shape, e.g. ``(256,)`` or ``(1, 16, 16)``.
         When omitted it is inferred from the first request, which must
-        then be *batched* ``(n, …features)`` — an unbatched first
-        request is ambiguous for multi-dimensional features (a single
-        ``(C, H, W)`` image is indistinguishable from a batch of 2-D
-        inputs) and only a 1-D feature vector is auto-promoted.
+        then be 1-D features or a *batched* ``(n, features)`` matrix —
+        a first request with more than two axes is rejected as
+        ambiguous (a single ``(C, H, W)`` image is indistinguishable
+        from a batch of 2-D inputs); pass ``feature_shape`` explicitly
+        to serve image engines.
     max_retained_results:
         Bound on flushed-but-unclaimed results kept for late
         ``result()`` calls.  A long-lived scheduler whose callers
@@ -95,43 +125,77 @@ class BatchScheduler:
         without limit; beyond the cap the *oldest* unclaimed results
         are dropped (counted in ``stats.evicted``) and their tickets
         raise on ``result()``.
+    flush_interval:
+        Optional deadline in seconds: when set, a daemon timer flushes
+        the pending batch once the *oldest* pending request has waited
+        this long, bounding tail latency under light traffic.  Call
+        :meth:`close` (or use the scheduler as a context manager) to
+        cancel the timer on shutdown.
     """
 
     def __init__(self, engine, n_samples: int = 20, max_batch: int = 64,
                  chunk_passes: Optional[int] = None,
                  feature_shape: Optional[tuple] = None,
-                 max_retained_results: int = 1024):
+                 max_retained_results: int = 1024,
+                 flush_interval: Optional[float] = None):
         if n_samples < 1:
             raise ValueError("need at least one MC sample")
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if max_retained_results < 1:
             raise ValueError("max_retained_results must be positive")
+        if flush_interval is not None and flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
         self.engine = engine
         self.n_samples = n_samples
         self.max_batch = max_batch
         self.chunk_passes = chunk_passes
         self.max_retained_results = max_retained_results
+        self.flush_interval = flush_interval
         self.stats = SchedulerStats()
         self._lock = threading.RLock()
-        self._pending: List[tuple[int, np.ndarray]] = []
+        self._pending: List[_Request] = []
         self._pending_rows = 0
         self._results: dict[int, PredictiveResult] = {}
+        # Evicted seqs are remembered (insertion-ordered, bounded) so
+        # their tickets raise a precise error; beyond the bound the
+        # oldest degrade to the generic "already consumed" message
+        # rather than growing memory forever.
+        self._evicted_seqs: dict[int, None] = {}
         self._feature_shape: Optional[tuple] = (
             None if feature_shape is None else tuple(feature_shape))
         self._next_seq = 0
+        self._timer: Optional[threading.Timer] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> PendingPrediction:
+    def submit(self, x: np.ndarray,
+               n_samples: Optional[int] = None) -> PendingPrediction:
         """Enqueue a request: ``x`` is (n, …features) or (…features,).
 
-        Returns a :class:`PendingPrediction` that resolves once the
-        request's batch is flushed (automatically at ``max_batch`` rows,
-        or on :meth:`flush` / ``result()``).
+        ``n_samples`` overrides the scheduler default for this request
+        only.  Returns a :class:`PendingPrediction` that resolves once
+        the request's batch is flushed (automatically at ``max_batch``
+        rows, after ``flush_interval`` seconds, or on :meth:`flush` /
+        ``result()``).
         """
+        if n_samples is None:
+            n_samples = self.n_samples
+        if n_samples < 1:
+            raise ValueError("need at least one MC sample")
         x = np.asarray(x, dtype=np.float64)
         with self._lock:
             if self._feature_shape is None:
+                if x.ndim > 2:
+                    raise ValueError(
+                        f"cannot infer the feature shape from a first "
+                        f"request of shape {x.shape}: with multi-"
+                        f"dimensional features a single (C, H, W) image "
+                        f"is indistinguishable from a batch of 2-D "
+                        f"inputs.  Construct the scheduler with "
+                        f"feature_shape=, e.g. "
+                        f"BatchScheduler(engine, feature_shape="
+                        f"{tuple(x.shape[1:])})")
                 if x.ndim < 2:
                     x = x[None]
                 self._feature_shape = x.shape[1:]
@@ -145,17 +209,21 @@ class BatchScheduler:
                 raise ValueError("empty request")
             seq = self._next_seq
             self._next_seq += 1
-            self._pending.append((seq, x))
+            was_empty = not self._pending
+            self._pending.append(_Request(seq, x, n_samples))
             self._pending_rows += x.shape[0]
             self.stats.requests += 1
             self.stats.rows += x.shape[0]
-            ticket = PendingPrediction(self, seq, x.shape[0])
+            ticket = PendingPrediction(self, seq, x.shape[0], n_samples)
             if self._pending_rows >= self.max_batch:
                 self._flush_locked()
+            elif was_empty and self.flush_interval is not None \
+                    and not self._closed:
+                self._arm_timer_locked()
             return ticket
 
     def flush(self) -> int:
-        """Run one batched MC call over everything pending.
+        """Run batched MC over everything pending (one call per T).
 
         Returns the number of requests resolved (0 if nothing pending).
         """
@@ -167,32 +235,96 @@ class BatchScheduler:
         with self._lock:
             return self._pending_rows
 
+    def close(self) -> None:
+        """Flush any pending requests and cancel the deadline timer."""
+        with self._lock:
+            self._closed = True
+            self._cancel_timer_locked()
+            self._flush_locked()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _arm_timer_locked(self) -> None:
+        self._cancel_timer_locked()
+        timer = threading.Timer(self.flush_interval, self._timer_fire)
+        timer.daemon = True
+        # The callback receives its own Timer so a stale firing (one
+        # that was cancelled after its thread already woke up and is
+        # waiting on the lock) can recognize it is no longer current
+        # and must not flush a newer batch early.
+        timer.args = (timer,)
+        self._timer = timer
+        timer.start()
+
+    def _cancel_timer_locked(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _timer_fire(self, timer: threading.Timer) -> None:
+        with self._lock:
+            if self._timer is not timer:
+                return
+            self._timer = None
+            if self._pending:
+                self.stats.timer_flushes += 1
+                self._flush_locked()
+
     # ------------------------------------------------------------------
     def _flush_locked(self) -> int:
+        self._cancel_timer_locked()
         if not self._pending:
             return 0
         batch, self._pending = self._pending, []
         self._pending_rows = 0
-        coalesced = np.concatenate([x for _, x in batch], axis=0)
-        result = self.engine.mc_forward_batched(
-            coalesced, n_samples=self.n_samples,
-            chunk_passes=self.chunk_passes)
-        self.stats.flushes += 1
-        if len(batch) > 1:
-            self.stats.coalesced_rows += coalesced.shape[0]
-        lo = 0
-        for seq, x in batch:
-            hi = lo + x.shape[0]
-            self._results[seq] = PredictiveResult.from_samples(
-                result.samples[:, lo:hi])
-            lo = hi
+        # Group by requested sample count; each group is one engine
+        # call whose samples every member shares, exactly as a direct
+        # mc_forward_batched over the group's concatenated inputs.
+        groups: Dict[int, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.n_samples, []).append(request)
+        for n_samples, requests in groups.items():
+            resolved = self._run_group(requests, n_samples)
+            self.stats.flushes += 1
+            if len(requests) > 1:
+                self.stats.coalesced_rows += sum(
+                    r.x.shape[0] for r in requests)
+            self._results.update(resolved)
         # Bound unclaimed-result retention (dicts iterate in insertion
-        # order, so the front is the oldest).
+        # order, so the front is the oldest flushed result).
         while len(self._results) > self.max_retained_results:
             oldest = next(iter(self._results))
             del self._results[oldest]
+            self._evicted_seqs[oldest] = None
             self.stats.evicted += 1
+        while len(self._evicted_seqs) > 4 * self.max_retained_results:
+            del self._evicted_seqs[next(iter(self._evicted_seqs))]
         return len(batch)
+
+    def _run_group(self, requests: List[_Request],
+                   n_samples: int) -> Dict[int, PredictiveResult]:
+        """One engine call over a same-T group; per-request slices."""
+        coalesced = np.concatenate([r.x for r in requests], axis=0)
+        result = self.engine.mc_forward_batched(
+            coalesced, n_samples=n_samples, chunk_passes=self.chunk_passes)
+        return self._slice_group(requests, result)
+
+    @staticmethod
+    def _slice_group(requests: List[_Request], result: PredictiveResult
+                     ) -> Dict[int, PredictiveResult]:
+        resolved: Dict[int, PredictiveResult] = {}
+        lo = 0
+        for request in requests:
+            hi = lo + request.x.shape[0]
+            resolved[request.seq] = PredictiveResult.from_samples(
+                result.samples[:, lo:hi])
+            lo = hi
+        return resolved
 
     def _has_result(self, seq: int) -> bool:
         with self._lock:
@@ -200,13 +332,19 @@ class BatchScheduler:
 
     def _resolve(self, seq: int) -> PredictiveResult:
         with self._lock:
-            if seq not in self._results:
+            if seq not in self._results and any(
+                    r.seq == seq for r in self._pending):
+                # Only force a flush when this ticket's request is
+                # genuinely still pending — resolving a consumed or
+                # evicted ticket must not disturb unrelated requests.
                 self._flush_locked()
             if seq not in self._results:
-                # Every submitted request lands in _results at its
-                # flush; a missing entry means it was taken or evicted.
+                if seq in self._evicted_seqs:
+                    raise RuntimeError(
+                        f"result for request {seq} was evicted: it "
+                        f"stayed unclaimed past max_retained_results="
+                        f"{self.max_retained_results}")
                 raise RuntimeError(
                     f"result for request {seq} was already consumed "
-                    f"or evicted (max_retained_results="
-                    f"{self.max_retained_results})")
+                    f"(each ticket's result() can be taken once)")
             return self._results.pop(seq)

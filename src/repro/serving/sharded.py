@@ -1,0 +1,111 @@
+"""Sharded serving: one coalesced batch, many engine replicas.
+
+A deployed CIM fabric scales out by replicating the programmed
+crossbars; :class:`ShardedScheduler` is the serving-side counterpart.
+It coalesces requests exactly like :class:`~repro.serving.scheduler.
+BatchScheduler`, then splits each flush across the replica engines
+and reassembles per-request slices from whichever replica served them.
+
+Sharding is *request-granular*: one request's rows never straddle two
+replicas, so all of its rows share every MC pass's mask bank /
+component selection — the same mutual-consistency guarantee the
+single-engine scheduler gives.  Replicas balance by row count via a
+greedy assignment in arrival order.
+
+Replica calls run concurrently on a thread pool by default; numpy
+releases the GIL inside its BLAS kernels, so the shards genuinely
+overlap.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bayesian.base import PredictiveResult
+from repro.serving.scheduler import BatchScheduler, _Request
+
+
+class ShardedScheduler(BatchScheduler):
+    """Request coalescing over a pool of engine replicas.
+
+    Parameters
+    ----------
+    engines:
+        One batched MC engine per replica (each exposing
+        ``mc_forward_batched``).  The first replica doubles as the
+        scheduler's nominal ``engine`` attribute.
+    parallel:
+        Run replica calls on a thread pool (default).  ``False``
+        executes shards sequentially — useful for deterministic tests
+        and debugging.
+
+    Remaining keyword arguments are forwarded to
+    :class:`BatchScheduler`.
+    """
+
+    def __init__(self, engines: Sequence, parallel: bool = True, **kwargs):
+        engines = list(engines)
+        if not engines:
+            raise ValueError("need at least one engine replica")
+        super().__init__(engines[0], **kwargs)
+        self.engines = engines
+        self.parallel = parallel and len(engines) > 1
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=len(engines),
+                               thread_name_prefix="shard")
+            if self.parallel else None)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.engines)
+
+    def close(self) -> None:
+        super().close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _partition(self, requests: List[_Request]) -> List[List[_Request]]:
+        """Assign whole requests to replicas, balancing row counts.
+
+        Greedy in arrival order: each request goes to the currently
+        least-loaded replica.  Deterministic, so a given submission
+        sequence always lands on the same replicas.
+        """
+        shards: List[List[_Request]] = [[] for _ in self.engines]
+        loads = [0] * len(self.engines)
+        for request in requests:
+            target = loads.index(min(loads))
+            shards[target].append(request)
+            loads[target] += request.x.shape[0]
+        return shards
+
+    def _run_group(self, requests: List[_Request],
+                   n_samples: int) -> Dict[int, PredictiveResult]:
+        shards = self._partition(requests)
+        occupied = [(engine, shard)
+                    for engine, shard in zip(self.engines, shards) if shard]
+
+        def run_shard(engine, shard: List[_Request]
+                      ) -> Dict[int, PredictiveResult]:
+            coalesced = np.concatenate([r.x for r in shard], axis=0)
+            result = engine.mc_forward_batched(
+                coalesced, n_samples=n_samples,
+                chunk_passes=self.chunk_passes)
+            return self._slice_group(shard, result)
+
+        self.stats.shard_calls += len(occupied)
+        resolved: Dict[int, PredictiveResult] = {}
+        if self._pool is not None and len(occupied) > 1:
+            futures = [self._pool.submit(run_shard, engine, shard)
+                       for engine, shard in occupied]
+            for future in futures:
+                resolved.update(future.result())
+        else:
+            for engine, shard in occupied:
+                resolved.update(run_shard(engine, shard))
+        return resolved

@@ -61,6 +61,18 @@ class TestPredictiveResult:
         np.testing.assert_allclose(r.predictive_entropy, np.log(4))
         np.testing.assert_allclose(r.mutual_information, 0.0, atol=1e-12)
 
+    def test_from_samples_rejects_missing_class_axis(self):
+        # A (T, N) array would make entropy/std/argmax reduce over the
+        # wrong axis; the constructor must refuse it loudly.
+        with pytest.raises(ValueError, match=r"\(T, N, C\)"):
+            PredictiveResult.from_samples(np.zeros((5, 6)))
+        with pytest.raises(ValueError, match=r"\(T, N, C\)"):
+            PredictiveResult.from_samples(np.zeros(5))
+
+    def test_from_samples_accepts_singleton_class_axis(self):
+        r = PredictiveResult.from_samples(np.full((5, 6, 1), 1.0))
+        assert r.probs.shape == (6, 1)
+
 
 class TestMcPredict:
     def test_probabilities_normalized(self, trained_spindrop, small_data):
@@ -95,6 +107,86 @@ class TestMcPredict:
 
         r = mc_predict_fn(forward, np.zeros((5, 2)), n_samples=4)
         assert r.samples.shape == (4, 5, 3)
+
+
+class TestStackedMcPredict:
+    """The software-side batched MC path (mc_predict batched=True)."""
+
+    KINDS = {
+        "spindrop": lambda: make_spindrop_mlp(20, (16,), 4, p=0.3, seed=1),
+        "scaledrop": lambda: make_scaledrop_mlp(20, (16,), 4, seed=3),
+        "subset_vi": lambda: make_subset_vi_mlp(20, (16,), 4, seed=5),
+        "affine": lambda: make_affine_mlp(20, (16,), 4, p=0.3, seed=4),
+    }
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_stacked_is_bit_exact_vs_sequential(self, kind):
+        x = np.random.default_rng(8).standard_normal((9, 20))
+        seq = mc_predict(self.KINDS[kind](), x, n_samples=5, batched=False)
+        stacked = mc_predict(self.KINDS[kind](), x, n_samples=5,
+                             chunk_passes=5)
+        np.testing.assert_array_equal(seq.samples, stacked.samples)
+
+    def test_stacked_cnn_is_bit_exact(self):
+        x = np.random.default_rng(9).standard_normal((4, 1, 12, 12))
+        make = lambda: make_spatial_spindrop_cnn(1, 12, 4, widths=(4, 8),
+                                                 seed=2)
+        seq = mc_predict(make(), x, n_samples=4, batched=False)
+        stacked = mc_predict(make(), x, n_samples=4, chunk_passes=4)
+        np.testing.assert_array_equal(seq.samples, stacked.samples)
+
+    def test_chunked_matches_unchunked(self):
+        x = np.random.default_rng(8).standard_normal((9, 20))
+        full = mc_predict(self.KINDS["scaledrop"](), x, n_samples=6,
+                          chunk_passes=6)
+        chunked = mc_predict(self.KINDS["scaledrop"](), x, n_samples=6,
+                             chunk_passes=2)
+        np.testing.assert_array_equal(full.samples, chunked.samples)
+
+    def test_unsupported_layer_falls_back_to_sequential(self):
+        from repro.bayesian import make_dropconnect_mlp
+
+        x = np.random.default_rng(8).standard_normal((6, 20))
+        seq = mc_predict(make_dropconnect_mlp(20, (16,), 4, seed=7), x,
+                         n_samples=3, batched=False)
+        auto = mc_predict(make_dropconnect_mlp(20, (16,), 4, seed=7), x,
+                          n_samples=3, batched=True, chunk_passes=3)
+        np.testing.assert_array_equal(seq.samples, auto.samples)
+
+    def test_fallback_consumes_no_randomness_from_supported_layers(self):
+        """Regression: with a bank-capable layer BEFORE the unsupported
+        one, the stacked path must bail out without drawing anything,
+        or the sequential fallback would see a shifted RNG stream."""
+        from repro import nn
+        from repro.bayesian import SpinDropout
+        from repro.bayesian.dropconnect import DropConnectLinear
+
+        def build():
+            rng = np.random.default_rng(11)
+            return nn.Sequential(
+                nn.BinaryLinear(20, 16, rng=rng, binarize_input=True),
+                nn.BatchNorm1d(16),
+                nn.SignActivation(),
+                SpinDropout(16, p=0.3, ideal=True, rng=rng),
+                DropConnectLinear(16, 4, p=0.2, rng=rng),
+            )
+
+        x = np.random.default_rng(8).standard_normal((6, 20))
+        seq = mc_predict(build(), x, n_samples=4, batched=False)
+        auto = mc_predict(build(), x, n_samples=4, batched=True,
+                          chunk_passes=4)
+        np.testing.assert_array_equal(seq.samples, auto.samples)
+
+    def test_banks_cleared_after_stacked_run(self):
+        from repro.bayesian.base import StochasticModule
+
+        model = self.KINDS["spindrop"]()
+        x = np.random.default_rng(8).standard_normal((9, 20))
+        mc_predict(model, x, n_samples=3, chunk_passes=3)
+        for module in model.modules():
+            if isinstance(module, StochasticModule):
+                assert module._mc_bank is None
+                assert not module.mc_mode
 
 
 class TestBayesianCimDeployment:

@@ -1,6 +1,7 @@
 """BatchScheduler: request coalescing over the batched MC engine."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -162,6 +163,170 @@ class TestValidation:
             assert ticket.result().probs.shape == (1, 3)
 
 
+class TestPerRequestSamples:
+    def test_groups_by_n_samples_at_flush(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3, max_batch=64)
+        t_default = scheduler.submit(RNG.standard_normal((2, 12)))
+        t_deep = scheduler.submit(RNG.standard_normal((3, 12)), n_samples=7)
+        t_default2 = scheduler.submit(RNG.standard_normal((1, 12)))
+        assert scheduler.flush() == 3
+        # One engine call per distinct T.
+        assert scheduler.stats.flushes == 2
+        assert t_default.result().samples.shape == (3, 2, 3)
+        assert t_deep.result().samples.shape == (7, 3, 3)
+        assert t_default2.result().samples.shape == (3, 1, 3)
+
+    def test_same_t_group_equals_direct_batched_call(self):
+        """Grouping preserves coalescing semantics within a T-group.
+
+        Groups run in arrival order of their first member, so a seeded
+        replay of the same engine-call sequence must reproduce every
+        request's slices bit-for-bit.
+        """
+        x_odd = RNG.standard_normal((1, 12))
+        x1 = RNG.standard_normal((2, 12))
+        x2 = RNG.standard_normal((3, 12))
+        scheduler = BatchScheduler(_engine(seed=31), n_samples=2,
+                                   max_batch=64)
+        t_odd = scheduler.submit(x_odd, n_samples=5)
+        t1 = scheduler.submit(x1, n_samples=4)
+        t2 = scheduler.submit(x2, n_samples=4)
+        scheduler.flush()
+
+        replay = _engine(seed=31)
+        direct_odd = replay.mc_forward_batched(x_odd, n_samples=5)
+        direct_four = replay.mc_forward_batched(
+            np.concatenate([x1, x2]), n_samples=4)
+        np.testing.assert_array_equal(t_odd.result().samples,
+                                      direct_odd.samples)
+        np.testing.assert_array_equal(t1.result().samples,
+                                      direct_four.samples[:, :2])
+        np.testing.assert_array_equal(t2.result().samples,
+                                      direct_four.samples[:, 2:])
+
+    def test_ticket_carries_its_sample_count(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3)
+        ticket = scheduler.submit(RNG.standard_normal((2, 12)), n_samples=9)
+        assert ticket.n_samples == 9
+
+    def test_invalid_per_request_samples_rejected(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=3)
+        with pytest.raises(ValueError):
+            scheduler.submit(RNG.standard_normal((2, 12)), n_samples=0)
+
+
+class TestTimerFlush:
+    def test_deadline_flushes_pending(self, engine):
+        with BatchScheduler(engine, n_samples=2, max_batch=64,
+                            flush_interval=0.05) as scheduler:
+            ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+            assert not ticket.done()
+            deadline = time.monotonic() + 5.0
+            while not ticket.done() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert ticket.done()
+            assert scheduler.stats.timer_flushes == 1
+            assert ticket.result().probs.shape == (2, 3)
+
+    def test_manual_flush_cancels_timer(self, engine):
+        with BatchScheduler(engine, n_samples=2, max_batch=64,
+                            flush_interval=0.05) as scheduler:
+            scheduler.submit(RNG.standard_normal((2, 12)))
+            scheduler.flush()
+            time.sleep(0.12)
+            assert scheduler.stats.timer_flushes == 0
+
+    def test_close_flushes_and_stops_timer(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64,
+                                   flush_interval=30.0)
+        ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+        scheduler.close()
+        assert ticket.done()
+        assert scheduler._timer is None
+
+    def test_invalid_interval_rejected(self, engine):
+        with pytest.raises(ValueError):
+            BatchScheduler(engine, flush_interval=0.0)
+
+
+class TestResolveBugfixes:
+    def test_consumed_ticket_does_not_flush_unrelated_requests(self, engine):
+        """Regression: resolving a consumed ticket used to force-flush
+        every unrelated pending request before raising."""
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64)
+        first = scheduler.submit(RNG.standard_normal((1, 12)))
+        first.result()                       # consume (forces one flush)
+        pending = scheduler.submit(RNG.standard_normal((2, 12)))
+        with pytest.raises(RuntimeError, match="already consumed"):
+            first.result()
+        assert not pending.done()            # still pending, untouched
+        assert scheduler.pending_rows == 2
+        assert scheduler.stats.flushes == 1
+
+    def test_evicted_ticket_does_not_flush_unrelated_requests(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64,
+                                   max_retained_results=1)
+        abandoned = scheduler.submit(RNG.standard_normal((1, 12)))
+        scheduler.flush()
+        scheduler.submit(RNG.standard_normal((1, 12)))
+        scheduler.flush()                    # evicts the abandoned result
+        pending = scheduler.submit(RNG.standard_normal((1, 12)))
+        with pytest.raises(RuntimeError, match="evicted"):
+            abandoned.result()
+        assert not pending.done()
+        assert scheduler.pending_rows == 1
+
+    def test_eviction_order_is_oldest_first(self, engine):
+        """Regression: the cap must drop the oldest flushed results."""
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64,
+                                   max_retained_results=3)
+        tickets = []
+        for _ in range(5):
+            tickets.append(scheduler.submit(RNG.standard_normal((1, 12))))
+            scheduler.flush()
+        assert scheduler.stats.evicted == 2
+        for old in tickets[:2]:              # oldest two evicted
+            with pytest.raises(RuntimeError, match="evicted"):
+                old.result()
+        for recent in tickets[2:]:           # newest three survive
+            assert recent.result().probs.shape == (1, 3)
+
+
+class TestConcurrencyStress:
+    def test_multithreaded_submit_result_flush(self, engine):
+        """Hammer submit/result/flush from many threads at once."""
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=8)
+        n_workers, per_worker = 8, 6
+        errors = []
+
+        def worker(wid):
+            rng = np.random.default_rng(wid)
+            try:
+                for i in range(per_worker):
+                    n_rows = 1 + (wid + i) % 3
+                    ticket = scheduler.submit(
+                        rng.standard_normal((n_rows, 12)),
+                        n_samples=2 + (i % 2))
+                    if i % 3 == 0:
+                        scheduler.flush()
+                    result = ticket.result()
+                    assert result.probs.shape == (n_rows, 3)
+                    assert result.samples.shape[0] == 2 + (i % 2)
+            except Exception as exc:         # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(n_workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert scheduler.stats.requests == n_workers * per_worker
+        assert scheduler.pending_rows == 0
+        assert not scheduler._results     # every ticket claimed its slice
+
+
 class TestMultiDimFeatures:
     """Image engines: feature shapes with more than one axis."""
 
@@ -180,8 +345,20 @@ class TestMultiDimFeatures:
         assert single.result().probs.shape == (1, 4)
         assert batch.result().probs.shape == (3, 4)
 
-    def test_inferred_feature_shape_from_batched_first_request(self):
+    def test_multi_dim_first_request_without_feature_shape_rejected(self):
+        # A first request with more than two axes is ambiguous (is
+        # (2, 1, 12, 12) a batch of two images or one 4-D sample?);
+        # the scheduler must refuse to guess rather than silently
+        # slice a wrong shape.
         scheduler = BatchScheduler(self._cnn_engine(), n_samples=2)
+        with pytest.raises(ValueError, match="feature_shape"):
+            scheduler.submit(RNG.standard_normal((2, 1, 12, 12)))
+        with pytest.raises(ValueError, match="feature_shape"):
+            scheduler.submit(RNG.standard_normal((1, 12, 12)))
+
+    def test_explicit_feature_shape_serves_batched_images(self):
+        scheduler = BatchScheduler(self._cnn_engine(), n_samples=2,
+                                   feature_shape=(1, 12, 12))
         first = scheduler.submit(RNG.standard_normal((2, 1, 12, 12)))
         single = scheduler.submit(RNG.standard_normal((1, 12, 12)))
         scheduler.flush()

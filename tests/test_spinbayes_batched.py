@@ -1,0 +1,135 @@
+"""SpinBayes batched MC engine ≡ sequential loop, bit-for-bit.
+
+Same acceptance contract as the BayesianCim engine
+(tests/test_batched_equivalence.py): under a fixed seed the batched
+path must reproduce the sequential T-pass loop exactly — same
+predictive means, same per-pass samples, same :class:`OpLedger`
+totals (crossbar accesses, ADC conversions, arbiter RNG cycles) —
+including the arbiter's component selections, with and without
+cycle-to-cycle read noise, chunked or not, for power-of-two component
+counts (vectorized selection draw) and odd ones (per-select replay).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesian import (
+    SpinBayesNetwork,
+    make_subset_vi_mlp,
+    mc_predict_fn,
+)
+from repro.cim import CimConfig
+from repro.devices import DeviceVariability, VariabilityParams
+
+RNG = np.random.default_rng(42)
+X = RNG.standard_normal((9, 20))
+
+
+def _network(n_components=8, read_noise=False, seed=33):
+    teacher = make_subset_vi_mlp(20, (16, 8), 4, seed=3)
+    variability = None
+    if read_noise:
+        variability = DeviceVariability(
+            VariabilityParams(sigma_r=0.03, sigma_delta=0.03,
+                              sigma_read=0.01),
+            rng=np.random.default_rng(77))
+    net = SpinBayesNetwork.from_subset_vi(
+        teacher, n_components=n_components, n_levels=16,
+        config=CimConfig(seed=6, variability=variability), seed=seed)
+    net.ledger.reset()
+    return net
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("n_components", [8, 5, 1])
+    def test_samples_probs_and_ledger_match(self, n_components):
+        a = _network(n_components)
+        b = _network(n_components)
+        seq = a.mc_forward(X, n_samples=6, batched=False)
+        bat = b.mc_forward(X, n_samples=6, batched=True)
+        np.testing.assert_array_equal(seq.samples, bat.samples)
+        np.testing.assert_array_equal(seq.probs, bat.probs)
+        assert a.ledger.as_dict() == b.ledger.as_dict()
+
+    def test_sequential_reference_is_the_plain_mc_loop(self):
+        a = _network()
+        b = _network()
+        seq = mc_predict_fn(a.forward, X, n_samples=5)
+        bat = b.mc_forward_batched(X, n_samples=5)
+        np.testing.assert_array_equal(seq.samples, bat.samples)
+        assert a.ledger.as_dict() == b.ledger.as_dict()
+
+    def test_chunked_matches_unchunked(self):
+        a = _network()
+        b = _network()
+        full = a.mc_forward_batched(X, n_samples=5)
+        chunked = b.mc_forward_batched(X, n_samples=5, chunk_passes=2)
+        np.testing.assert_array_equal(full.samples, chunked.samples)
+        assert a.ledger.as_dict() == b.ledger.as_dict()
+
+    @pytest.mark.parametrize("n_components", [8, 5])
+    def test_read_noise_still_bit_exact(self, n_components):
+        # Read noise forces one pass per stacked call; the noise
+        # stream is then consumed draw-for-draw in sequential order.
+        a = _network(n_components, read_noise=True)
+        b = _network(n_components, read_noise=True)
+        seq = a.mc_forward(X, n_samples=4, batched=False)
+        bat = b.mc_forward(X, n_samples=4, batched=True)
+        np.testing.assert_array_equal(seq.samples, bat.samples)
+        assert a.ledger.as_dict() == b.ledger.as_dict()
+
+    def test_arbiter_state_matches_sequential(self):
+        a = _network()
+        b = _network()
+        a.mc_forward(X, n_samples=5, batched=False)
+        b.mc_forward_batched(X, n_samples=5)
+        for la, lb in zip(a.mvm_layers(), b.mvm_layers()):
+            assert la.last_selected == lb.last_selected
+            if la.arbiter is not None:
+                assert la.arbiter.selections == lb.arbiter.selections
+                assert la.arbiter._stage_rng.total_ops \
+                    == lb.arbiter._stage_rng.total_ops
+
+    def test_rng_cycle_totals(self):
+        # Three arbiters (two hidden blocks + head) x ceil(log2 8)
+        # stages x 5 passes.
+        net = _network()
+        assert len(net.mvm_layers()) == 3
+        net.mc_forward_batched(X, n_samples=5)
+        assert net.ledger["rng_cycle"] == 3 * 3 * 5
+
+    def test_batched_passes_differ_from_each_other(self):
+        net = _network()
+        result = net.mc_forward_batched(X, n_samples=8)
+        assert result.samples.std(axis=0).sum() > 0.0
+
+
+class TestBatchedApiContracts:
+    def test_forward_batched_shape(self):
+        logits = _network().forward_batched(X, n_samples=7)
+        assert logits.shape == (7, len(X), 4)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            _network().forward_batched(X, n_samples=0)
+
+    def test_flattens_multi_dim_input_like_forward(self):
+        net = _network()
+        x_img = X.reshape(9, 4, 5)
+        flat = net.forward_batched(X, n_samples=3)
+        net2 = _network()
+        img = net2.forward_batched(x_img, n_samples=3)
+        np.testing.assert_array_equal(flat, img)
+
+    def test_mc_forward_returns_predictive_result(self):
+        result = _network().mc_forward(X, n_samples=4)
+        assert result.samples.shape == (4, 9, 4)
+        np.testing.assert_allclose(result.probs.sum(axis=-1), 1.0,
+                                   rtol=1e-9)
+        assert result.mutual_information.shape == (9,)
+
+    def test_quantization_error_unaffected_by_batched_run(self):
+        net = _network()
+        before = net.quantization_error()
+        net.mc_forward_batched(X, n_samples=3)
+        assert net.quantization_error() == before
