@@ -15,12 +15,15 @@ import numpy as np
 
 from repro import nn
 from repro.bayesian import (
+    PredictiveResult,
+    SegmenterEngine,
     make_bayesian_segmenter,
     mc_segment,
     pixel_maps,
     segmentation_loss,
 )
 from repro.data import batches, segmentation_scenes
+from repro.serving import BatchScheduler
 from repro.tensor import Tensor
 from repro.uncertainty import mean_iou
 
@@ -52,13 +55,23 @@ def main() -> None:
             nn.clip_latent_weights(model)
         scheduler.step()
 
+    # All T passes run as one pass-stacked tensor (mc_segment's
+    # default engine — bit-identical to the sequential loop).
     shape = (len(x_test), 16, 16)
     result = mc_segment(model, x_test, n_samples=20)
     pred, entropy = pixel_maps(result, shape)
     print(f"\nmIoU {mean_iou(pred, m_test, 3):.3f}   "
           f"pixel accuracy {(pred == m_test).mean() * 100:.1f}%")
 
-    ood_result = mc_segment(model, x_ood, n_samples=20)
+    # Serving-side: per-pixel results through the request scheduler —
+    # concurrent callers submit images, each gets back its own pixels.
+    with BatchScheduler(SegmenterEngine(model), n_samples=20,
+                        feature_shape=(1, 16, 16)) as scheduler:
+        tickets = [scheduler.submit(x_ood[i:i + 50])
+                   for i in range(0, len(x_ood), 50)]
+        parts = [t.result() for t in tickets]
+    ood_samples = np.concatenate([p.samples for p in parts], axis=1)
+    ood_result = PredictiveResult.from_samples(ood_samples)
     ood_pred, ood_entropy = pixel_maps(ood_result, (len(x_ood), 16, 16))
 
     i = 0

@@ -1,15 +1,17 @@
 """CI benchmark gate: batched MC inference must beat sequential.
 
-Times T-pass Monte-Carlo inference through the deployed CIM chain for
-BOTH deployed engines — the Table-I (fast preset) SpinDrop MLP on
-:class:`BayesianCim`, and the subset-VI teacher deployed as a
-:class:`SpinBayesNetwork` (N crossbars + arbiter per layer) — once
-through the original sequential per-pass loop and once through the
-batched engine.  For each engine it verifies the two paths are
-bit-for-bit identical (samples and ledger totals), writes the
-measurements to ``BENCH_mc_forward.json``, and exits non-zero if
-either batched path is not at least ``--min-speedup`` (default 3×)
-faster.
+Times T-pass Monte-Carlo inference for THREE engines — the Table-I
+(fast preset) SpinDrop MLP on :class:`BayesianCim`, the subset-VI
+teacher deployed as a :class:`SpinBayesNetwork` (N crossbars +
+arbiter per layer), and the §III-B.2 Bayesian segmenter through the
+pass-stacked ``mc_segment_batched`` engine — once through the
+original sequential per-pass loop and once through the batched
+engine.  For each engine it verifies the two paths are bit-for-bit
+identical (samples, and ledger totals for the deployed engines; the
+segmentation gate additionally checks that a warm engine performs
+zero im2col index-plan rebuilds), writes the measurements to
+``BENCH_mc_forward.json``, and exits non-zero if any batched path is
+not at least ``--min-speedup`` (default 3×) faster.
 
 Run locally from a source checkout:
 
@@ -29,20 +31,28 @@ try:
     from repro.bayesian import (
         BayesianCim,
         SpinBayesNetwork,
+        make_bayesian_segmenter,
         make_spindrop_mlp,
         make_subset_vi_mlp,
+        mc_segment,
+        mc_segment_batched,
     )
     from repro.cim import CimConfig
+    from repro.tensor.functional import conv_plan_cache_stats
 except ImportError:  # source checkout without install
     sys.path.insert(0, os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
     from repro.bayesian import (
         BayesianCim,
         SpinBayesNetwork,
+        make_bayesian_segmenter,
         make_spindrop_mlp,
         make_subset_vi_mlp,
+        mc_segment,
+        mc_segment_batched,
     )
     from repro.cim import CimConfig
+    from repro.tensor.functional import conv_plan_cache_stats
 
 import numpy as np
 
@@ -61,6 +71,12 @@ REPEATS = 5
 SPINBAYES_BATCH = 4
 SPINBAYES_COMPONENTS = 8
 SPINBAYES_LEVELS = 16
+# Segmentation serving slice: the per-pixel safety-critical use case
+# is latency-bound single-image traffic; the ISSUE gate pins T=10 on
+# the default segmenter (width 8, p 0.15, 16x16 scenes).
+SEG_BATCH = 1
+SEG_SIZE = 16
+SEG_SAMPLES = 10
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -121,6 +137,58 @@ def _gate_engine(name, make_engine, x, n_samples, min_speedup):
     }
 
 
+def _gate_segmentation(min_speedup):
+    """Equivalence + plan-cache + timed gate for the segmentation
+    engine (software path: no OpLedger; bit-exactness covers probs
+    and per-pass samples)."""
+    x = np.random.default_rng(2).standard_normal(
+        (SEG_BATCH, 1, SEG_SIZE, SEG_SIZE))
+    check_seq = make_bayesian_segmenter(seed=0)
+    check_bat = make_bayesian_segmenter(seed=0)
+    seq_result = mc_segment(check_seq, x, n_samples=SEG_SAMPLES,
+                            batched=False)
+    bat_result = mc_segment_batched(check_bat, x, n_samples=SEG_SAMPLES)
+    if not np.array_equal(seq_result.samples, bat_result.samples):
+        print("FAIL: segmentation batched MC output differs from sequential")
+        return None
+    if not np.array_equal(seq_result.probs, bat_result.probs):
+        print("FAIL: segmentation batched MC probs differ from sequential")
+        return None
+
+    model = make_bayesian_segmenter(seed=0)
+    mc_segment(model, x, n_samples=2, batched=False)
+    mc_segment_batched(model, x, n_samples=2)
+    # Warm engines must reuse the memoized im2col/pooling plans:
+    # zero index-plan rebuilds from here on.
+    builds_before = conv_plan_cache_stats()["builds"]
+    mc_segment_batched(model, x, n_samples=SEG_SAMPLES)
+    plan_rebuilds = conv_plan_cache_stats()["builds"] - builds_before
+    if plan_rebuilds != 0:
+        print(f"FAIL: warm segmentation engine rebuilt {plan_rebuilds} "
+              f"im2col index plans (expected 0)")
+        return None
+
+    seq_s = _best_of(
+        lambda: mc_segment(model, x, n_samples=SEG_SAMPLES, batched=False),
+        REPEATS)
+    bat_s = _best_of(
+        lambda: mc_segment_batched(model, x, n_samples=SEG_SAMPLES),
+        REPEATS)
+    return {
+        "batch": SEG_BATCH,
+        "n_samples": SEG_SAMPLES,
+        "repeats": REPEATS,
+        "sequential_s": seq_s,
+        "batched_s": bat_s,
+        "speedup": seq_s / bat_s,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+        "plan_rebuilds_warm": plan_rebuilds,
+        "model": (f"bayesian_segmenter width=8 p=0.15 "
+                  f"{SEG_SIZE}x{SEG_SIZE}"),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--min-speedup", type=float,
@@ -147,6 +215,9 @@ def main() -> int:
                              args.samples, args.min_speedup)
     if spinbayes is None:
         return 1
+    segmentation = _gate_segmentation(args.min_speedup)
+    if segmentation is None:
+        return 1
     spindrop["model"] = (f"spindrop_mlp {IN_FEATURES}-"
                          f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}")
     spinbayes["model"] = (f"spinbayes {IN_FEATURES}-"
@@ -155,9 +226,10 @@ def main() -> int:
                           f"levels={SPINBAYES_LEVELS}")
 
     # Top-level keys keep the PR-1 layout (the SpinDrop engine);
-    # per-engine sections carry both gates.
+    # per-engine sections carry all three gates.
     record = dict(spindrop)
-    record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes}
+    record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes,
+                         "segmentation": segmentation}
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)

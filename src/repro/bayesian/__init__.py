@@ -47,9 +47,11 @@ from repro.bayesian.subset_vi import (
 from repro.bayesian.dropconnect import DropConnectLinear, make_dropconnect_mlp
 from repro.bayesian.spinbayes import SpinBayesNetwork
 from repro.bayesian.segmentation import (
+    SegmenterEngine,
     Upsample2d,
     make_bayesian_segmenter,
     mc_segment,
+    mc_segment_batched,
     pixel_maps,
     segmentation_loss,
 )
@@ -89,9 +91,11 @@ __all__ = [
     "make_dropconnect_mlp",
     "BayesianCim",
     "Upsample2d",
+    "SegmenterEngine",
     "make_bayesian_segmenter",
     "segmentation_loss",
     "mc_segment",
+    "mc_segment_batched",
     "pixel_maps",
     "DeepEnsemble",
 ]

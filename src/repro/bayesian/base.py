@@ -12,6 +12,7 @@ to :mod:`repro.bayesian.deploy`.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import Callable, Optional
 
 import numpy as np
@@ -89,10 +90,11 @@ class StochasticModule(nn.Module):
     that, each stochastic layer pre-draws its per-pass randomness
     through :meth:`mc_draw_pass` (called T times, pass-major across the
     model's layers — the sequential draw order) and applies the
-    installed bank row-wise in ``forward``.  Layers whose randomness
-    cannot be expressed per row (e.g. DropConnect weight masks) simply
-    don't override :meth:`mc_draw_pass`; :func:`mc_predict` then falls
-    back to the sequential loop.
+    installed bank in ``forward`` — row-wise for activation masks,
+    pass-blocked (one GEMM per pass) for weight masks like
+    DropConnect.  Layers that override neither simply don't implement
+    :meth:`mc_draw_pass`; :func:`mc_predict` then falls back to the
+    sequential loop.
     """
 
     def __init__(self) -> None:
@@ -119,6 +121,18 @@ class StochasticModule(nn.Module):
         """
         raise NotImplementedError(
             f"{type(self).__name__} has no batched-MC support")
+
+    def mc_draw_passes(self, batch: int, n_passes: int):
+        """Draw ``n_passes`` consecutive passes' randomness in one
+        vectorized call, consuming the RNG stream exactly as
+        ``n_passes`` :meth:`mc_draw_pass` calls would.  Only valid
+        when the draw order permits it — the stacked engines use it
+        solely for models with a single stochastic layer, where
+        pass-major and module-major order coincide.  Default: not
+        supported (the engines fall back to the per-pass loop).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized pass drawing")
 
     def mc_install_bank(self, bank: np.ndarray, rows_per_pass: int) -> None:
         """Install a (P, …) stack of pre-drawn passes; ``forward`` then
@@ -169,13 +183,15 @@ def mc_predict(model: nn.Module, x: np.ndarray, n_samples: int = 20,
     cache-resident (``T·N`` under ~4k rows — the serving regime, where
     it is 1.3–8x faster); larger requests keep the sequential loop,
     which wins there.  Models containing a stochastic layer without
-    per-row bank support (e.g. DropConnect weight masks) always fall
-    back to the sequential loop.  ``chunk_passes`` forces the stacked
+    bank support always fall back to the sequential loop (every
+    bundled layer — including DropConnect, whose per-pass *weight*
+    masks apply as a batched matmul — now supports banks).
+    ``chunk_passes`` forces the stacked
     path with at most that many passes per stacked call;
-    ``batch_size`` bounds row count in the sequential path.
+    ``batch_size`` bounds row count in the sequential path.  The
+    model's train/eval mode is restored on return.
     """
-    model.eval()
-    set_mc_mode(model, True)
+    state = _enter_mc_eval(model)
     try:
         n_rows = np.shape(x)[0]
         if batched and (chunk_passes is not None
@@ -189,7 +205,27 @@ def mc_predict(model: nn.Module, x: np.ndarray, n_samples: int = 20,
                 samples.append(_forward_probs(model, x, batch_size))
         return PredictiveResult.from_samples(np.stack(samples))
     finally:
-        set_mc_mode(model, False)
+        _exit_mc_eval(model, state)
+
+
+def split_pass_invariant_prefix(model: nn.Module):
+    """Split a model into (pass-invariant prefix, stochastic suffix).
+
+    For :class:`~repro.nn.Sequential` models, every layer before the
+    first one containing a :class:`StochasticModule` is deterministic
+    in eval mode and therefore identical across MC passes — the
+    stacked engines evaluate that prefix ONCE on the raw batch and
+    broadcast its output across the pass-stack, instead of recomputing
+    it per pass (the train-side counterpart of the deployed engines'
+    prefix memoization).  Non-sequential models get an empty prefix.
+    """
+    if not isinstance(model, nn.Sequential):
+        return [], [model]
+    layers = list(model)
+    for i, layer in enumerate(layers):
+        if any(isinstance(m, StochasticModule) for m in layer.modules()):
+            return layers[:i], layers[i:]
+    return layers, []
 
 
 def _mc_predict_stacked(model: nn.Module, x: np.ndarray, n_samples: int,
@@ -200,39 +236,37 @@ def _mc_predict_stacked(model: nn.Module, x: np.ndarray, n_samples: int,
     Pre-draws every stochastic layer's per-pass randomness in
     pass-major order (the order T sequential forwards would draw in),
     installs the banks, and pushes ``(P·N, …)`` pass-stacks through the
-    model.  Layers raising ``NotImplementedError`` from
+    model — the pass-invariant prefix evaluated once and broadcast.
+    Layers raising ``NotImplementedError`` from
     :meth:`StochasticModule.mc_draw_pass` abort the stacked path before
     any randomness is consumed beyond the first failing layer — the
     caller then falls back to the sequential loop.
     """
     x = np.asarray(x, dtype=np.float64)
     n = x.shape[0]
-    modules = [m for m in model.modules() if isinstance(m, StochasticModule)]
     # Decide support BEFORE consuming any randomness: bailing out
     # halfway through the draws would hand the sequential fallback a
     # shifted RNG stream and break bit-for-bit parity with
     # ``batched=False``.
-    if any(type(m).mc_draw_pass is StochasticModule.mc_draw_pass
-           for m in modules):
+    _, modules, supported, prefix, suffix = _stacked_plan(model)
+    if not supported:
         return None
-    draws: list = [[] for _ in modules]
-    for _ in range(n_samples):
-        for slot, module in zip(draws, modules):
-            slot.append(module.mc_draw_pass(n))
-    banks = [np.asarray(slot, dtype=np.float64) for slot in draws]
+    banks = _mc_draw_banks(modules, n, n_samples)
 
     chunk = n_samples if chunk_passes is None else max(1, int(chunk_passes))
     outs = []
     try:
         with no_grad():
+            base = _run_layers(prefix, x)
             for t0 in range(0, n_samples, chunk):
                 t1 = min(t0 + chunk, n_samples)
                 for module, bank in zip(modules, banks):
                     module.mc_install_bank(bank[t0:t1], n)
                 stacked = np.broadcast_to(
-                    x[None], (t1 - t0,) + x.shape).reshape(
-                        ((t1 - t0) * n,) + x.shape[1:])
-                probs = _softmax_np(model(Tensor(stacked)).data, axis=-1)
+                    base[None], (t1 - t0,) + base.shape).reshape(
+                        ((t1 - t0) * n,) + base.shape[1:])
+                logits = _run_layers(suffix, stacked)
+                probs = _softmax_np(logits, axis=-1)
                 outs.append(probs.reshape((t1 - t0, n) + probs.shape[1:]))
     finally:
         for module in modules:
@@ -241,13 +275,103 @@ def _mc_predict_stacked(model: nn.Module, x: np.ndarray, n_samples: int,
     return PredictiveResult.from_samples(stacked_probs)
 
 
+def _mc_draw_banks(modules, n_rows: int, n_samples: int):
+    """Pre-draw T passes of per-layer randomness, pass-major (the
+    sequential draw order), stacked into one bank per layer.
+
+    With a single stochastic layer pass-major and module-major order
+    coincide, so a vectorized :meth:`StochasticModule.mc_draw_passes`
+    (when the layer provides one) replaces the T-iteration Python
+    loop — same RNG stream, one draw call.
+    """
+    if len(modules) == 1 and (
+            type(modules[0]).mc_draw_passes
+            is not StochasticModule.mc_draw_passes):
+        bank = modules[0].mc_draw_passes(n_rows, n_samples)
+        return [np.asarray(bank, dtype=np.float64)]
+    draws: list = [[] for _ in modules]
+    for _ in range(n_samples):
+        for slot, module in zip(draws, modules):
+            slot.append(module.mc_draw_pass(n_rows))
+    return [np.asarray(slot, dtype=np.float64) for slot in draws]
+
+
+# Memoized per-model stacked-execution plan: the module lists, the
+# batched-support verdict, and the pass-invariant prefix split.
+# Keyed weakly so models die normally; rebuilt only when a new model
+# object appears.  (A model whose *structure* is mutated in place
+# after first use would need the cache entry dropped — none of the
+# repo's models do that.)
+_model_stacked_plans: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _module_lists(model: nn.Module):
+    """Cached (all modules, stochastic modules) of a model — the
+    recursive ``modules()`` walk is surprisingly expensive to repeat
+    on every engine call."""
+    return _stacked_plan(model)[:2]
+
+
+def _stacked_plan(model: nn.Module):
+    plan = _model_stacked_plans.get(model)
+    if plan is None:
+        all_modules = list(model.modules())
+        modules = [m for m in all_modules
+                   if isinstance(m, StochasticModule)]
+        supported = not any(
+            type(m).mc_draw_pass is StochasticModule.mc_draw_pass
+            for m in modules)
+        prefix, suffix = split_pass_invariant_prefix(model)
+        plan = (all_modules, modules, supported, prefix, suffix)
+        _model_stacked_plans[model] = plan
+    return plan
+
+
+def _enter_mc_eval(model: nn.Module, mc: bool = True):
+    """Flip the model into inference mode (eval, with MC sampling on
+    or off) using the cached module lists instead of four recursive
+    walks.  Returns the state needed by :func:`_exit_mc_eval`."""
+    all_modules, stochastic = _module_lists(model)
+    # Per-module snapshot: a deliberately frozen submodule (e.g. a
+    # BatchNorm pinned to eval during fine-tuning) must come back
+    # frozen, not inherit the root's mode.
+    prior_modes = [module.training for module in all_modules]
+    for module in all_modules:
+        object.__setattr__(module, "training", False)
+    for module in stochastic:
+        module.mc_mode = mc
+    return all_modules, stochastic, prior_modes
+
+
+def _exit_mc_eval(model: nn.Module, state) -> None:
+    all_modules, stochastic, prior_modes = state
+    for module in stochastic:
+        module.mc_mode = False
+    for module, mode in zip(all_modules, prior_modes):
+        object.__setattr__(module, "training", mode)
+
+
+def _run_layers(layers, x: np.ndarray) -> np.ndarray:
+    out = Tensor(x)
+    for layer in layers:
+        out = layer(out)
+    return out.data
+
+
 def deterministic_predict(model: nn.Module, x: np.ndarray,
                           batch_size: Optional[int] = None) -> np.ndarray:
-    """Single deterministic forward pass (stochastic layers off)."""
-    model.eval()
-    set_mc_mode(model, False)
-    with no_grad():
-        return _forward_probs(model, x, batch_size)
+    """Single deterministic forward pass (stochastic layers off).
+
+    The model's train/eval mode is restored on return (MC mode is
+    deliberately left off — this is the explicit "turn sampling off"
+    entry point).
+    """
+    state = _enter_mc_eval(model, mc=False)
+    try:
+        with no_grad():
+            return _forward_probs(model, x, batch_size)
+    finally:
+        _exit_mc_eval(model, state)
 
 
 def _forward_probs(model: nn.Module, x: np.ndarray,

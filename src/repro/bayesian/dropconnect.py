@@ -84,13 +84,44 @@ class DropConnectLinear(StochasticModule):
             drops = bits.reshape(self.out_features, self.in_features) > 0.5
         return (~drops).astype(np.float64)
 
+    def mc_draw_pass(self, batch: int) -> np.ndarray:
+        """One MC pass's (out, in) weight keep-mask.
+
+        DropConnect's randomness lives on the *weights*, not the
+        activations, so the bank is a stack of weight masks rather
+        than per-row masks; ``forward`` applies pass ``p``'s mask to
+        rows ``p·N … (p+1)·N`` of the stacked input through a batched
+        matmul (one GEMM per pass — the same GEMMs the sequential
+        loop runs, so results stay bit-identical).
+        """
+        return self.sample_weight_mask()
+
     def forward(self, x: Tensor) -> Tensor:
         if self.binarize_input:
             x = F.sign_ste(x)
         weight = F.sign_ste(self.weight)
         if self.stochastic_active:
+            if self._mc_bank is not None:
+                return self._forward_banked(x, weight)
             weight = weight * Tensor(self.sample_weight_mask())
         out = F.matmul(x, F.transpose(weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def _forward_banked(self, x: Tensor, weight: Tensor) -> Tensor:
+        """Stacked-MC forward: per-pass weight masks over a pass-
+        stacked input ``(P·N, in)``."""
+        bank = self._mc_bank                       # (P, out, in)
+        passes = bank.shape[0]
+        if x.shape[0] != passes * self._mc_rows:
+            raise ValueError(
+                f"pass-stack rows {x.shape[0]} != "
+                f"{passes} passes x {self._mc_rows} rows")
+        masked = weight * Tensor(bank)             # (P, out, in)
+        x3 = F.reshape(x, (passes, self._mc_rows, self.in_features))
+        out = F.matmul(x3, F.transpose(masked, (0, 2, 1)))
+        out = F.reshape(out, (passes * self._mc_rows, self.out_features))
         if self.bias is not None:
             out = out + self.bias
         return out

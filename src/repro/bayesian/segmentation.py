@@ -7,6 +7,15 @@ makes it Bayesian — T forward passes give a per-pixel predictive
 distribution whose entropy is the uncertainty *map* the safety-
 critical applications consume (flagging unknown objects pixel-wise).
 
+Inference runs through the **pass-stacked engine** by default:
+:func:`mc_segment_batched` pre-draws every stochastic layer's T
+per-pass spatial mask banks in sequential RNG order and evaluates all
+passes as one ``(T·N, C, H, W)`` tensor, so one prediction costs a
+handful of ndarray ops instead of T Python-level decoder walks — and
+every conv/pool forward inside it reuses the memoized im2col index
+plans in :mod:`repro.tensor.functional`.  Outputs are bit-for-bit
+identical to the sequential loop (``batched=False``).
+
 Training uses per-pixel cross-entropy; see
 :func:`segmentation_loss` / :func:`repro.uncertainty.metrics.mean_iou`.
 """
@@ -18,20 +27,32 @@ from typing import Optional
 import numpy as np
 
 from repro import nn
-from repro.bayesian.base import PredictiveResult, set_mc_mode
+from repro.bayesian.base import (
+    PredictiveResult,
+    _enter_mc_eval,
+    _exit_mc_eval,
+    _mc_draw_banks,
+    _run_layers,
+    _stacked_plan,
+)
 from repro.bayesian.spatial import SpatialSpinDropout
+from repro.nn.layers import Upsample2d
 from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor.functional import (
+    _im2col_indices,
+    _is_exact_ternary,
+    _softmax_np,
+)
 
-
-class Upsample2d(nn.Module):
-    """Nearest-neighbour ×factor upsampling (decoder stage)."""
-
-    def __init__(self, factor: int = 2):
-        super().__init__()
-        self.factor = factor
-
-    def forward(self, x: Tensor) -> Tensor:
-        return F.upsample2d(x, self.factor)
+__all__ = [
+    "Upsample2d",
+    "SegmenterEngine",
+    "make_bayesian_segmenter",
+    "mc_segment",
+    "mc_segment_batched",
+    "pixel_maps",
+    "segmentation_loss",
+]
 
 
 def make_bayesian_segmenter(in_channels: int = 1, n_classes: int = 3,
@@ -75,17 +96,28 @@ def segmentation_loss(logits: Tensor, masks: np.ndarray) -> Tensor:
 
 
 def mc_segment(model: nn.Module, images: np.ndarray,
-               n_samples: int = 10) -> PredictiveResult:
+               n_samples: int = 10, batched: bool = True,
+               chunk_passes: Optional[int] = None) -> PredictiveResult:
     """Monte-Carlo per-pixel predictive distribution.
 
     Returns a :class:`PredictiveResult` whose ``probs`` has shape
     (N·H·W, C) — reshape with :func:`pixel_maps` for visualization.
-    """
-    from repro.tensor.functional import _softmax_np
 
-    model.eval()
-    set_mc_mode(model, True)
+    ``batched=True`` (default) evaluates all T passes as one stacked
+    ``(T·N, C, H, W)`` tensor when every stochastic layer supports
+    per-row mask banks (see :func:`mc_segment_batched`); otherwise —
+    or with ``batched=False`` — it runs the sequential per-pass loop.
+    Both strategies draw the per-pass randomness in the same stream
+    order, so the outputs are bit-for-bit identical either way.  The
+    model's train/eval mode is restored on return.
+    """
+    state = _enter_mc_eval(model)
     try:
+        if batched:
+            result = _mc_segment_stacked(model, images, n_samples,
+                                         chunk_passes)
+            if result is not None:
+                return result
         samples = []
         with no_grad():
             for _ in range(n_samples):
@@ -97,7 +129,197 @@ def mc_segment(model: nn.Module, images: np.ndarray,
         stacked = np.stack(samples)
         return PredictiveResult(probs=stacked.mean(axis=0), samples=stacked)
     finally:
-        set_mc_mode(model, False)
+        _exit_mc_eval(model, state)
+
+
+def mc_segment_batched(model: nn.Module, images: np.ndarray,
+                       n_samples: int = 10,
+                       chunk_passes: Optional[int] = None
+                       ) -> PredictiveResult:
+    """Pass-stacked Monte-Carlo segmentation engine.
+
+    Pre-draws every stochastic layer's T per-pass mask banks in
+    sequential RNG order (pass-major across the model's layers — the
+    order T sequential forwards would draw in), installs them as
+    per-row banks, and pushes one ``(T·N, C, H, W)`` pass-stack
+    through the model.  Bit-for-bit identical to the sequential loop
+    (:func:`mc_segment` with ``batched=False``) — same probs, same
+    per-pass samples — while paying the Python-level layer walk and
+    im2col plan lookups once instead of T times.
+
+    ``chunk_passes`` bounds peak memory by stacking at most that many
+    passes per forward.  Models containing a stochastic layer without
+    per-row bank support fall back to the sequential loop (identical
+    outputs, just slower).  The model's train/eval mode is restored on
+    return.
+    """
+    return mc_segment(model, images, n_samples=n_samples, batched=True,
+                      chunk_passes=chunk_passes)
+
+
+def _mc_segment_stacked(model: nn.Module, images: np.ndarray,
+                        n_samples: int, chunk_passes: Optional[int]
+                        ) -> Optional[PredictiveResult]:
+    """Stacked evaluation of all T segmentation passes; None if
+    unsupported.
+
+    Mirrors :func:`repro.bayesian.base._mc_predict_stacked`, with the
+    segmentation-specific output handling: per-pass ``(N, C, H, W)``
+    logits flatten to ``(N·H·W, C)`` pixel rows before the softmax,
+    exactly as the sequential loop does per pass.
+    """
+    x = np.asarray(images, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError(f"mc_segment expects (N, C, H, W) images; "
+                         f"got shape {x.shape}")
+    n = x.shape[0]
+    # Decide support BEFORE consuming any randomness, so an aborted
+    # stacked attempt leaves the RNG streams untouched for the
+    # sequential fallback (bit-for-bit parity).
+    _, modules, supported, prefix, suffix = _stacked_plan(model)
+    if not supported:
+        return None
+    banks = _mc_draw_banks(modules, n, n_samples)
+
+    chunk = n_samples if chunk_passes is None else max(1, int(chunk_passes))
+    outs = []
+    try:
+        with no_grad():
+            # The encoder stage before the first Spatial-SpinDrop is
+            # pass-invariant: evaluate it once on the raw images and
+            # broadcast across the pass-stack.
+            base = _run_layers(prefix, x)
+            # Fuse a leading dropout→conv pair into pass-invariant
+            # per-channel partial convs where exactness allows.
+            gated = _channel_gated_conv_plan(suffix, modules, base)
+            if gated is not None:
+                suffix = suffix[2:]
+            for t0 in range(0, n_samples, chunk):
+                t1 = min(t0 + chunk, n_samples)
+                p = t1 - t0
+                for module, bank in zip(modules, banks):
+                    module.mc_install_bank(bank[t0:t1], n)
+                if gated is not None:
+                    stacked = _channel_gated_conv_apply(
+                        gated, banks[gated[0]][t0:t1])
+                else:
+                    stacked = np.broadcast_to(
+                        base[None], (p,) + base.shape).reshape(
+                            (p * n,) + base.shape[1:])
+                logits = _run_layers(suffix, stacked)  # (P·N, C, H, W)
+                _, c, h, w = logits.shape
+                pixel_rows = logits.reshape(p, n, c, h, w).transpose(
+                    0, 1, 3, 4, 2).reshape(p, n * h * w, c)
+                # In-place softmax on the fresh pixel-row copy: the
+                # same sub/exp/div sequence as _softmax_np, without
+                # its three temporaries.
+                pixel_rows -= pixel_rows.max(axis=-1, keepdims=True)
+                np.exp(pixel_rows, out=pixel_rows)
+                pixel_rows /= pixel_rows.sum(axis=-1, keepdims=True)
+                outs.append(pixel_rows)
+    finally:
+        for module in modules:
+            module.mc_clear_bank()
+    samples = outs[0] if len(outs) == 1 else np.concatenate(outs, axis=0)
+    return PredictiveResult.from_samples(samples)
+
+
+def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
+    """Fuse a leading [SpatialSpinDrop → BinaryConv2d] pair into
+    per-channel partial convolutions.
+
+    Spatial dropout gates whole input feature maps, and convolution is
+    linear over them: ``conv(x ⊙ m) = Σ_c m[c] · conv(x_c)``.  The
+    per-channel partials ``conv(x_c)`` are pass-invariant, so the
+    engine computes them once and reduces every MC pass to a
+    mask-weighted sum — the software mirror of the paper's wordline
+    gating, where a dropped feature map's crossbar rows simply never
+    fire.  Exactness: with ±1 kernels and {−1, 0, +1} activations all
+    partial sums are small integers, so the regrouped summation (and
+    its float32 storage) is bit-identical to the fused GEMM the
+    sequential loop runs.
+
+    Returns ``(bank_index, conv, partials, out_hw)`` or None when the
+    suffix does not start with the gated pair (or the activations are
+    not exact-integer, where regrouping could round differently).
+    """
+    from repro.nn.binary import BinaryConv2d
+
+    if len(suffix) < 2:
+        return None
+    drop, conv = suffix[0], suffix[1]
+    if not isinstance(drop, SpatialSpinDropout):
+        return None
+    if not isinstance(conv, BinaryConv2d) or conv.binarize_input:
+        return None
+    if drop not in modules:
+        return None
+    if not _is_exact_ternary(base):
+        return None
+    n, c, h0, w0 = base.shape
+    kh = kw = conv.kernel_size
+    pad = conv.padding
+    h, w = h0 + 2 * pad, w0 + 2 * pad
+    padded = np.zeros((n, c, h, w), dtype=np.float32)
+    padded[:, :, pad:h - pad, pad:w - pad] = base
+    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, conv.stride)
+    patches = padded[:, :, rows, cols_idx]            # (N, C, KH·KW, L)
+    w_bin = np.where(conv.weight.data >= 0, np.float32(1), np.float32(-1))
+    w_per_c = np.ascontiguousarray(                   # (C, O, KH·KW)
+        w_bin.reshape(conv.out_channels, c, kh * kw).transpose(1, 0, 2))
+    partials = np.matmul(w_per_c[None], patches)      # (N, C, O, L)
+    return modules.index(drop), conv, partials, (out_h, out_w)
+
+
+def _channel_gated_conv_apply(plan, bank_slice: np.ndarray) -> np.ndarray:
+    """Contract one chunk of keep-mask banks against the partials,
+    then apply the conv's scale/bias exactly as its inference forward
+    does."""
+    _, conv, partials, (out_h, out_w) = plan
+    p = bank_slice.shape[0]
+    n, c, o, length = partials.shape
+    masks = bank_slice.reshape(p, n, 1, c).astype(np.float32)
+    out = np.matmul(masks, partials.reshape(n, c, o * length))
+    out = out.astype(np.float64).reshape(
+        p * n, conv.out_channels, out_h, out_w)
+    if conv.scale is not None:
+        out *= conv.scale.data.reshape(1, -1, 1, 1)
+    if conv.bias is not None:
+        out += conv.bias.data.reshape(1, -1, 1, 1)
+    return out
+
+
+class SegmenterEngine:
+    """Serving adapter: a Bayesian segmenter as a batched MC engine.
+
+    Exposes the ``mc_forward_batched(x, n_samples=..., chunk_passes=
+    ...)`` contract the schedulers expect, returning the *per-pixel*
+    predictive distribution — ``samples`` has shape (T, N·H·W, C), so
+    each input image contributes H·W result rows.  The schedulers
+    detect that expansion and hand every request back exactly its own
+    pixels; construct them with ``feature_shape=(C, H, W)`` so
+    image-shaped requests coalesce:
+
+    >>> engine = SegmenterEngine(make_bayesian_segmenter(seed=0))
+    >>> scheduler = BatchScheduler(engine, feature_shape=(1, 16, 16))
+    >>> maps = pixel_maps(scheduler.submit(images).result(),
+    ...                   (len(images), 16, 16))
+    """
+
+    def __init__(self, model: nn.Module):
+        self.model = model
+
+    def mc_forward_batched(self, x: np.ndarray, n_samples: int = 10,
+                           chunk_passes: Optional[int] = None
+                           ) -> PredictiveResult:
+        return mc_segment_batched(self.model, x, n_samples=n_samples,
+                                  chunk_passes=chunk_passes)
+
+    def mc_forward(self, x: np.ndarray, n_samples: int = 10,
+                   batched: bool = True,
+                   chunk_passes: Optional[int] = None) -> PredictiveResult:
+        return mc_segment(self.model, x, n_samples=n_samples,
+                          batched=batched, chunk_passes=chunk_passes)
 
 
 def pixel_maps(result: PredictiveResult, image_shape: tuple):

@@ -70,6 +70,18 @@ class SpatialSpinDropout(StochasticModule):
         """One MC pass's (batch, C) channel keep-mask (already per-row)."""
         return self.sample_channel_mask(batch)
 
+    def mc_draw_passes(self, batch: int, n_passes: int) -> np.ndarray:
+        """Vectorized T-pass draw: (T, batch, C) keep-masks.
+
+        One ``(T·batch, C)`` draw consumes the RNG stream (and, on the
+        hardware path, cycles the module bank) exactly as T sequential
+        per-pass draws would: rows fill row-major, and each pass's
+        ``batch·C`` bits start at a multiple of the bank size, so the
+        module round-robin phase matches pass-by-pass.
+        """
+        return self.sample_channel_mask(batch * n_passes).reshape(
+            n_passes, batch, self.n_channels)
+
     def forward(self, x: Tensor) -> Tensor:
         if not self.stochastic_active:
             return x

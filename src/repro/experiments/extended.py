@@ -87,6 +87,9 @@ def run_seg_experiment(fast: bool = True, seed: int = 0
             nn.clip_latent_weights(model)
         sched.step()
 
+    # Evaluation runs through the pass-stacked segmentation engine
+    # (mc_segment's default) — all T passes in one stacked forward,
+    # bit-identical to the sequential loop.
     shape = (len(x_test), x_test.shape[2], x_test.shape[3])
     result = mc_segment(model, x_test, n_samples=mc_samples)
     pred, entropy = pixel_maps(result, shape)

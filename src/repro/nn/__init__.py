@@ -20,6 +20,7 @@ from repro.nn.layers import (
     Sequential,
     SignActivation,
     Tanh,
+    Upsample2d,
 )
 from repro.nn.binary import BinaryConv2d, BinaryLinear, clip_latent_weights
 from repro.nn.normalization import InvertedNorm
@@ -41,6 +42,7 @@ __all__ = [
     "SignActivation",
     "MaxPool2d",
     "AvgPool2d",
+    "Upsample2d",
     "Flatten",
     "Dropout",
     "Sequential",

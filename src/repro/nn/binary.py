@@ -17,7 +17,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, is_grad_enabled
+from repro.tensor.functional import _conv2d_infer
 from repro.nn.module import Module, Parameter
 
 
@@ -84,6 +85,8 @@ class BinaryConv2d(Module):
         return F.sign_ste(self.weight)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._forward_infer(x.data))
         if self.binarize_input:
             x = F.sign_ste(x)
         out = F.conv2d(x, self.binary_weight(), bias=None,
@@ -92,6 +95,21 @@ class BinaryConv2d(Module):
             out = out * F.reshape(self.scale, (1, -1, 1, 1))
         if self.bias is not None:
             out = out + F.reshape(self.bias, (1, -1, 1, 1))
+        return out
+
+    def _forward_infer(self, x: np.ndarray) -> np.ndarray:
+        """No-tape forward: same op sequence on raw ndarrays (scale
+        and bias applied in place on the fresh conv output), feeding
+        the inference conv kernel directly — bit-identical to the
+        Tensor path, minus its allocations."""
+        if self.binarize_input:
+            x = np.where(x >= 0, 1.0, -1.0)
+        w = np.where(self.weight.data >= 0, 1.0, -1.0)
+        out = _conv2d_infer(x, w, None, self.stride, self.padding)
+        if self.scale is not None:
+            out *= self.scale.data.reshape(1, -1, 1, 1)
+        if self.bias is not None:
+            out += self.bias.data.reshape(1, -1, 1, 1)
         return out
 
 

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, functional as F, is_grad_enabled
 from repro.nn.module import Module, Parameter
 
 
@@ -90,6 +90,18 @@ class _BatchNormBase(Module):
     def forward(self, x: Tensor) -> Tensor:
         axes = self._axes(x)
         shape = self._shape(x)
+        if not self.training and not is_grad_enabled():
+            # Inference fast path: running-stats normalization as raw
+            # ufuncs — the same operation sequence as the Tensor ops
+            # below (bit-identical results: the in-place updates hit
+            # the same values in the same order), minus the tape
+            # machinery and intermediate allocations.
+            out = x.data - self.running_mean.reshape(shape)
+            out /= np.sqrt(self.running_var.reshape(shape) + self.eps)
+            if self.affine:
+                out *= self.gamma.data.reshape(shape)
+                out += self.beta.data.reshape(shape)
+            return Tensor(out)
         if self.training:
             mu = F.mean(x, axis=axes, keepdims=True)
             centered = x - mu
@@ -185,6 +197,17 @@ class AvgPool2d(Module):
 class Flatten(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.reshape(x, (x.shape[0], -1))
+
+
+class Upsample2d(Module):
+    """Nearest-neighbour ×factor upsampling (segmentation decoder stage)."""
+
+    def __init__(self, factor: int = 2):
+        super().__init__()
+        self.factor = factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample2d(x, self.factor)
 
 
 class Dropout(Module):

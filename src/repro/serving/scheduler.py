@@ -96,8 +96,12 @@ class BatchScheduler:
     engine:
         Any object exposing ``mc_forward_batched(x, n_samples=...,
         chunk_passes=...) -> PredictiveResult`` — normally a
-        :class:`~repro.bayesian.BayesianCim` or
-        :class:`~repro.bayesian.SpinBayesNetwork`.
+        :class:`~repro.bayesian.BayesianCim`,
+        :class:`~repro.bayesian.SpinBayesNetwork`, or (for per-pixel
+        workloads) a :class:`~repro.bayesian.SegmenterEngine`, whose
+        results carry H·W rows per input image; construct the
+        scheduler with ``feature_shape=(C, H, W)`` and each request
+        gets back exactly its own pixels.
     n_samples:
         Default Monte-Carlo passes per request (the T of the
         predictive distribution); individual requests may override it
@@ -317,12 +321,28 @@ class BatchScheduler:
     @staticmethod
     def _slice_group(requests: List[_Request], result: PredictiveResult
                      ) -> Dict[int, PredictiveResult]:
+        """Hand each request its own slice of the stacked samples.
+
+        Engines may return more result rows than input rows — a
+        segmentation engine yields H·W per-pixel rows per image (see
+        :class:`repro.bayesian.SegmenterEngine`).  The expansion
+        factor is uniform per engine, so each request's slice is its
+        row span scaled by ``result_rows / input_rows``.
+        """
+        total_rows = sum(r.x.shape[0] for r in requests)
+        out_rows = result.samples.shape[1]
+        if out_rows % total_rows:
+            raise ValueError(
+                f"engine returned {out_rows} result rows for "
+                f"{total_rows} input rows — not an integer per-input "
+                f"expansion, so per-request slices are ambiguous")
+        scale = out_rows // total_rows
         resolved: Dict[int, PredictiveResult] = {}
         lo = 0
         for request in requests:
             hi = lo + request.x.shape[0]
             resolved[request.seq] = PredictiveResult.from_samples(
-                result.samples[:, lo:hi])
+                result.samples[:, lo * scale:hi * scale])
             lo = hi
         return resolved
 

@@ -14,11 +14,13 @@ operations", which requires ±1 weights trained with an STE).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, as_tensor, _unbroadcast
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, _unbroadcast
 
 Axis = Union[None, int, Tuple[int, ...]]
 
@@ -207,6 +209,10 @@ def sign_ste(a, clip: float = 1.0) -> Tensor:
     """
     a = as_tensor(a)
     out_data = np.where(a.data >= 0, 1.0, -1.0)
+    if not (is_grad_enabled() and a.requires_grad):
+        # Inference fast path: the STE window mask is backward-only
+        # bookkeeping — skip it and the tape node.
+        return Tensor(out_data)
     mask = np.abs(a.data) <= clip
 
     def backward(grad: np.ndarray) -> None:
@@ -407,9 +413,82 @@ def pad2d(a, padding: int) -> Tensor:
 
 
 # ----------------------------------------------------------------------
-# Convolution / pooling via im2col
+# Convolution / pooling via im2col — with cached index plans
 # ----------------------------------------------------------------------
-def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
+class _PlanCache:
+    """Bounded memo of im2col gather/scatter index plans.
+
+    Every convolution, pooling window and col2im scatter derives its
+    fancy-index arrays purely from the spatial geometry ``(h, w, kh,
+    kw, stride)``.  Monte-Carlo inference re-runs the same geometry T
+    times per prediction (and serving re-runs it per flush), so the
+    plans are memoized here and rebuilt only when a new geometry
+    appears.  LRU-bounded: a long-lived process cycling through many
+    input shapes evicts the least recently used plan instead of
+    growing without limit.
+    """
+
+    def __init__(self, max_plans: int = 128):
+        self.max_plans = max_plans
+        self._plans: OrderedDict = OrderedDict()
+        # Shared across sharded-serving threads: the lock keeps LRU
+        # bookkeeping (move_to_end after a concurrent eviction) and
+        # the hit/build counters coherent.
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.builds = 0
+        self.evictions = 0
+
+    def get(self, key: tuple, build):
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.builds += 1
+        plan = build()
+        with self._lock:
+            self._plans[key] = plan
+            if len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = self.builds = self.evictions = 0
+
+
+_conv_plans = _PlanCache()
+
+
+def conv_plan_cache_stats() -> Dict[str, int]:
+    """Counters of the shared im2col/pooling plan cache.
+
+    ``builds`` counts index-plan constructions (cache misses); a warm
+    steady state — every MC pass, scheduler flush, or training step on
+    already-seen geometry — performs zero builds.  The CI bench gate
+    and the plan-cache tests assert exactly that.
+    """
+    return {
+        "plans": len(_conv_plans),
+        "hits": _conv_plans.hits,
+        "builds": _conv_plans.builds,
+        "evictions": _conv_plans.evictions,
+    }
+
+
+def clear_conv_plan_cache() -> None:
+    """Drop all memoized index plans (and reset the counters)."""
+    _conv_plans.clear()
+
+
+def _build_im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
     out_h = (h - kh) // stride + 1
     out_w = (w - kw) // stride + 1
     i0 = np.repeat(np.arange(kh), kw)
@@ -418,7 +497,41 @@ def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
     j1 = stride * np.tile(np.arange(out_w), out_h)
     rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
     cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    # The plan is shared across callers: freeze it so an accidental
+    # in-place edit cannot corrupt every later forward.
+    rows.setflags(write=False)
+    cols.setflags(write=False)
     return rows, cols, out_h, out_w
+
+
+def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
+    return _conv_plans.get(
+        (h, w, kh, kw, stride),
+        lambda: _build_im2col_indices(h, w, kh, kw, stride))
+
+
+def _flat_gather_indices(h: int, w: int, kh: int, kw: int,
+                         stride: int) -> np.ndarray:
+    """Flattened (row·w + col) gather plan over an (…, h·w) view —
+    the ``np.take`` form of the im2col plan, memoized alongside it."""
+    def build():
+        rows, cols, _, _ = _im2col_indices(h, w, kh, kw, stride)
+        flat = np.ascontiguousarray((rows * w + cols).ravel())
+        flat.setflags(write=False)
+        return flat
+    return _conv_plans.get(("flat", h, w, kh, kw, stride), build)
+
+
+def _is_exact_ternary(x: np.ndarray) -> bool:
+    """True when every element is exactly −1, 0, or +1 (sign outputs,
+    possibly dropout-masked) — the precondition for the exact-integer
+    float32 inference routes.  Probes a small prefix first so
+    real-valued data short-circuits without a full scan."""
+    flat = x.reshape(-1)
+    probe = flat[:64]
+    if not ((probe == 1.0) | (probe == -1.0) | (probe == 0.0)).all():
+        return False
+    return bool(((flat == 1.0) | (flat == -1.0) | (flat == 0.0)).all())
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int):
@@ -439,6 +552,105 @@ def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int):
     return x
 
 
+# Per-thread scratch arena for the inference conv kernel.  The big
+# intermediates (channel-first padded image, GEMM-layout patch matrix,
+# GEMM output) are reused across calls with the same geometry, which
+# avoids the large-allocation churn (mmap + page faults each call)
+# that otherwise dominates pass-stacked forwards.  Thread-local so
+# sharded serving replicas running on a thread pool never share a
+# buffer; the produced output is always a fresh array.
+_conv_scratch = threading.local()
+
+
+def _conv_scratch_buffers(key: tuple, shapes):
+    cache = getattr(_conv_scratch, "cache", None)
+    if cache is None:
+        cache = _conv_scratch.cache = OrderedDict()
+    bufs = cache.get(key)
+    if bufs is None:
+        bufs = shapes()
+        cache[key] = bufs
+        if len(cache) > 32:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return bufs
+
+
+def _conv2d_infer(x: np.ndarray, weight: np.ndarray,
+                  bias: Optional[np.ndarray], stride: int,
+                  padding: int) -> np.ndarray:
+    """Inference conv kernel: gather straight into GEMM layout.
+
+    Bit-identical to the im2col/einsum training path on binary data
+    (the exact-integer route below) and identical to float64 rounding
+    (1–2 ulp, from BLAS regrouping the reduction) on real-valued
+    data; batched-vs-sequential MC parity always holds bitwise
+    because both strategies run this same kernel.  Several times
+    faster than the einsum path on the pass-stacked shapes, through
+    three mechanisms:
+
+    * the patch matrix is gathered by one ``np.take`` directly into
+      the ``(C·KH·KW, L·N)`` layout a single BLAS call consumes — no
+      batched einsum, no intermediate transpose copy, and the zero-pad
+      happens implicitly by writing the image interior into a
+      zero-bordered channel-first scratch buffer;
+    * all large intermediates live in a per-thread scratch arena
+      (see :data:`_conv_scratch`) reused across calls with the same
+      geometry, sidestepping large-allocation churn;
+    * binary (XNOR) convs take an *exact-integer* float32 route: when
+      the kernel is ±1 and the activations are in {−1, 0, +1} (sign
+      outputs, possibly dropout-masked), every partial sum is a small
+      integer, which float32 represents exactly — half the memory
+      traffic, bit-identical float64 results.  This is the software
+      shadow of the paper's XNOR-popcount MAC: integer-exact
+      arithmetic is what makes the crossbar readout (and this
+      shortcut) lossless.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    # Exact-integer route: products are ±x and |sum| <= C·KH·KW, far
+    # inside float32's 2^24 exact-integer range.
+    w_flat = weight.reshape(-1)
+    exact_binary = (
+        np.abs(w_flat).max(initial=0.0) == 1.0
+        and np.abs(w_flat).min(initial=1.0) == 1.0
+        and _is_exact_ternary(x))
+    dtype = np.dtype(np.float32 if exact_binary else x.dtype)
+    n, c, h0, w0 = x.shape
+    h, w = h0 + 2 * padding, w0 + 2 * padding
+    _, _, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
+    flat_idx = _flat_gather_indices(h, w, kh, kw, stride)
+    f, ln = c_in * kh * kw, out_h * out_w * n
+
+    # ``padding`` is part of the key: a zero-pad buffer relies on its
+    # border never being written, which an unpadded call with the same
+    # (h, w) would violate.
+    key = (n, c, h, w, kh, kw, stride, padding, dtype.str)
+    xtl, gather_buf, out_buf = _conv_scratch_buffers(
+        key, lambda: (
+            np.zeros((c, h, w, n), dtype=dtype),
+            np.empty((c, kh * kw * out_h * out_w, n), dtype=dtype),
+            np.empty((c_out, ln), dtype=dtype),
+        ))
+    if out_buf.shape[0] != c_out:
+        out_buf = np.empty((c_out, ln), dtype=dtype)
+    # Write the image interior into the zero-bordered channel-first
+    # scratch (one pass, casting on the fly); the border stays zero
+    # across reuses because only the interior is ever written.
+    interior = (slice(None),
+                slice(padding, h - padding), slice(padding, w - padding))
+    np.copyto(xtl[interior], x.transpose(1, 2, 3, 0))
+    np.take(xtl.reshape(c, h * w, n), flat_idx, axis=1, out=gather_buf)
+    np.matmul(weight.reshape(c_out, -1).astype(dtype),
+              gather_buf.reshape(f, ln), out=out_buf)
+    out = np.ascontiguousarray(
+        out_buf.reshape(c_out, out_h * out_w, n).transpose(2, 0, 1),
+        dtype=np.float64).reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    return out
+
+
 def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution in NCHW layout.
 
@@ -446,9 +658,17 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
     im2col + matmul, which is also exactly how the CIM crossbar mapping
     strategy ① of Fig. 1 unrolls kernels into crossbar columns — the
     deployed :class:`repro.cim.CimConv2d` reuses the same im2col.
+    Inference (``no_grad``) takes a faster single-GEMM kernel with the
+    same bit-level results — see :func:`_conv2d_infer`.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
+    if not (is_grad_enabled()
+            and (x.requires_grad or weight.requires_grad
+                 or (bias is not None and as_tensor(bias).requires_grad))):
+        bias_data = None if bias is None else as_tensor(bias).data
+        return Tensor(_conv2d_infer(x.data, weight.data, bias_data,
+                                    stride, padding))
     if padding:
         x_padded = pad2d(x, padding)
     else:
@@ -481,9 +701,37 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
     return Tensor.from_op(out, parents, backward)
 
 
+def _max_pool2d_infer(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Inference pooling kernel: plain windowed max.
+
+    No argmax pooling plan, no take_along_axis gather, no backward
+    closure — bit-identical to the gradient path's forward (argmax
+    selects the same maximal element).  When the activations are sign
+    outputs (±1, possibly 0 under a channel mask) the window gather
+    additionally runs in float32 — exact for those values, half the
+    memory traffic on the pass-stack.
+    """
+    n, c, h, w = x.shape
+    dtype = np.dtype(np.float32 if _is_exact_ternary(x) else x.dtype)
+    _, _, out_h, out_w = _im2col_indices(h, w, kernel, kernel, stride)
+    flat_idx = _flat_gather_indices(h, w, kernel, kernel, stride)
+    k2, length = kernel * kernel, out_h * out_w
+    key = ("pool", n * c, h, w, kernel, stride, dtype.str)
+    (gather_buf,) = _conv_scratch_buffers(
+        key, lambda: (
+            np.empty((n * c, k2 * length), dtype=dtype),
+        ))
+    np.take(x.reshape(n * c, h * w).astype(dtype, copy=False), flat_idx,
+            axis=1, out=gather_buf)
+    out = gather_buf.reshape(n * c, k2, length).max(axis=1)
+    return out.astype(np.float64).reshape(n, c, out_h, out_w)
+
+
 def max_pool2d(x, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
     x = as_tensor(x)
     stride = stride or kernel
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(_max_pool2d_infer(x.data, kernel, stride))
     n, c, h, w = x.data.shape
     cols, out_h, out_w = im2col(
         x.data.reshape(n * c, 1, h, w), kernel, kernel, stride)
@@ -536,11 +784,19 @@ def upsample2d(x, factor: int = 2) -> Tensor:
         raise ValueError("upsample2d expects (N, C, H, W)")
     if factor < 1:
         raise ValueError("factor must be >= 1")
-    out_data = x.data.repeat(factor, axis=2).repeat(factor, axis=3)
+    n, c, h, w = x.data.shape
+    # Single-copy expansion: a strided broadcast view materialized by
+    # one reshape, instead of repeat()'s two sequential copies.
+    out_data = np.ascontiguousarray(np.broadcast_to(
+        x.data[:, :, :, None, :, None],
+        (n, c, h, factor, w, factor))).reshape(
+            n, c, h * factor, w * factor)
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference fast path: no backward closure, no tape node.
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            n, c, h, w = x.data.shape
             g = grad.reshape(n, c, h, factor, w, factor).sum(axis=(3, 5))
             x.accumulate_grad(g)
 

@@ -19,34 +19,39 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Per-thread grad flag: sharded serving runs engine replicas on a
+# thread pool, each inside its own ``no_grad()`` — a process-wide
+# flag would let one thread's exit re-enable (or leave disabled)
+# tracking for another thread mid-forward.
+_grad_state = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations will be recorded on the tape."""
-    return _GRAD_ENABLED
+    """Return whether new operations will be recorded on the tape
+    (in the current thread)."""
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables gradient tracking.
+    """Context manager that disables gradient tracking (thread-local).
 
     Used by all evaluation / Monte-Carlo-inference paths; forward
     passes inside the block build no graph and allocate no closures.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = getattr(_grad_state, "enabled", True)
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_state.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -90,7 +95,7 @@ class Tensor:
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  name: Optional[str] = None):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
@@ -119,7 +124,8 @@ class Tensor:
                 backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Build a non-leaf tensor recording ``backward`` on the tape."""
         parents = tuple(parents)
-        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs_grad = is_grad_enabled() and any(
+            p.requires_grad for p in parents)
         out = Tensor(data)
         out.requires_grad = needs_grad
         if needs_grad:
