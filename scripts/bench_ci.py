@@ -13,6 +13,14 @@ zero im2col index-plan rebuilds), writes the measurements to
 ``BENCH_mc_forward.json``, and exits non-zero if any batched path is
 not at least ``--min-speedup`` (default 3×) faster.
 
+A fourth, serving-level gate replays the same Poisson arrival
+workload through the threaded ``ShardedScheduler`` (thread-per-client
+submitters polling their tickets) and through the asyncio
+``AsyncBatchScheduler`` with an ``Autoscaler`` on top, and fails if
+the async front-end's throughput regresses below
+``--serving-min-ratio`` of the threaded baseline (see
+``docs/benchmarks.md``).
+
 Run locally from a source checkout:
 
     python scripts/bench_ci.py
@@ -54,7 +62,18 @@ except ImportError:  # source checkout without install
     from repro.cim import CimConfig
     from repro.tensor.functional import conv_plan_cache_stats
 
-import numpy as np
+# sys.path is fixed up by the block above for source checkouts.
+from repro.serving import (  # noqa: E402
+    AsyncBatchScheduler,
+    Autoscaler,
+    LoadMetrics,
+    ShardedScheduler,
+)
+
+import asyncio     # noqa: E402
+import threading   # noqa: E402
+
+import numpy as np  # noqa: E402
 
 # Table-I model (fast preset): 256-dim SynthDigits input, (128, 64)
 # hidden, 10 classes, SpinDrop after each hidden block.
@@ -77,6 +96,17 @@ SPINBAYES_LEVELS = 16
 SEG_BATCH = 1
 SEG_SIZE = 16
 SEG_SAMPLES = 10
+# Serving front-end gate: a fixed Poisson arrival trace replayed once
+# through the threaded sharded scheduler and once through the async
+# front-end (same requests, same engine work).
+SERVING_REQUESTS = 160
+SERVING_MEAN_GAP_S = 0.0004     # Poisson arrivals, ~0.4 ms mean gap
+SERVING_SAMPLES = 24            # deep enough that flushes dominate
+SERVING_MAX_BATCH = 32
+SERVING_FLUSH_INTERVAL = 0.004
+SERVING_REPLICAS = 2            # both front-ends start with this many
+SERVING_MAX_REPLICAS = 3        # autoscaler headroom for the async run
+SERVING_REPEATS = 3
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -189,12 +219,153 @@ def _gate_segmentation(min_speedup):
     }
 
 
+def _serving_trace(seed: int = 3):
+    """Fixed Poisson workload: arrival offsets + request payloads."""
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(SERVING_MEAN_GAP_S,
+                                         SERVING_REQUESTS))
+    rows = rng.integers(1, 4, SERVING_REQUESTS)
+    xs = [rng.standard_normal((int(n), IN_FEATURES)) for n in rows]
+    return arrivals, xs
+
+
+def _warm(engine) -> None:
+    engine.mc_forward_batched(np.zeros((2, IN_FEATURES)), n_samples=2)
+
+
+def _run_threaded_serving(arrivals, xs) -> float:
+    """Thread-per-client replay over the threaded ShardedScheduler.
+
+    Each client sleeps until its arrival offset, submits, and polls
+    its ticket (``result()`` would force a flush and defeat the
+    deadline batching a sync service relies on).  Returns the wall
+    seconds from the first arrival to the last resolved result.
+    """
+    engines = [_engine() for _ in range(SERVING_REPLICAS)]
+    for engine in engines:
+        _warm(engine)
+    errors = []
+    with ShardedScheduler(engines, n_samples=SERVING_SAMPLES,
+                          max_batch=SERVING_MAX_BATCH,
+                          flush_interval=SERVING_FLUSH_INTERVAL) as sched:
+        start = time.perf_counter()
+
+        def client(i):
+            try:
+                delay = arrivals[i] - (time.perf_counter() - start)
+                if delay > 0:
+                    time.sleep(delay)
+                ticket = sched.submit(xs[i])
+                while not ticket.done():
+                    time.sleep(0.0002)
+                ticket.result()
+            except Exception as exc:    # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(xs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _run_async_serving(arrivals, xs):
+    """Coroutine-per-client replay over the async front-end with a
+    replica autoscaler (same starting replicas as the threaded
+    baseline, headroom to SERVING_MAX_REPLICAS).  Returns (wall
+    seconds, final replica count, scale-ups)."""
+    engines = [_engine() for _ in range(SERVING_REPLICAS)]
+    for engine in engines:
+        _warm(engine)
+
+    async def go():
+        sharded = ShardedScheduler(engines, n_samples=SERVING_SAMPLES,
+                                   max_batch=SERVING_MAX_BATCH)
+        try:
+            return await run_workload(sharded)
+        finally:
+            sharded.close()     # shard pools don't outlive the run
+
+    async def run_workload(sharded):
+        metrics = LoadMetrics()
+        scaler = Autoscaler(
+            sharded, _engine, metrics=metrics,
+            min_replicas=SERVING_REPLICAS,
+            max_replicas=SERVING_MAX_REPLICAS,
+            scale_up_utilization=0.5, scale_down_utilization=0.1,
+            # Enough pre-warmed spares that no engine is ever built
+            # mid-run (construction would steal GIL from the flushes).
+            warm_spares=SERVING_MAX_REPLICAS - SERVING_REPLICAS + 1)
+        for spare in scaler._spares:
+            _warm(spare)
+        async with AsyncBatchScheduler(
+                sharded, flush_interval=SERVING_FLUSH_INTERVAL,
+                metrics=metrics, autoscaler=scaler) as frontend:
+            start = time.perf_counter()
+
+            async def client(i):
+                delay = arrivals[i] - (time.perf_counter() - start)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await frontend.predict(xs[i])
+
+            await asyncio.gather(*[client(i) for i in range(len(xs))])
+            elapsed = time.perf_counter() - start
+        return elapsed, sharded.n_replicas, scaler.scale_ups
+
+    return asyncio.run(go())
+
+
+def _gate_serving(min_ratio):
+    """Async front-end must not regress below the threaded baseline."""
+    arrivals, xs = _serving_trace()
+    total_rows = int(sum(x.shape[0] for x in xs))
+    threaded_s = min(_run_threaded_serving(arrivals, xs)
+                     for _ in range(SERVING_REPEATS))
+    best_async = None
+    for _ in range(SERVING_REPEATS):
+        run = _run_async_serving(arrivals, xs)
+        if best_async is None or run[0] < best_async[0]:
+            best_async = run
+    async_s, replicas, ups = best_async
+    return {
+        "requests": SERVING_REQUESTS,
+        "rows": total_rows,
+        "n_samples": SERVING_SAMPLES,
+        "mean_gap_s": SERVING_MEAN_GAP_S,
+        "max_batch": SERVING_MAX_BATCH,
+        "flush_interval_s": SERVING_FLUSH_INTERVAL,
+        "repeats": SERVING_REPEATS,
+        "threaded_replicas": SERVING_REPLICAS,
+        "threaded_s": threaded_s,
+        "threaded_rows_per_s": total_rows / threaded_s,
+        "async_s": async_s,
+        "async_rows_per_s": total_rows / async_s,
+        "async_final_replicas": replicas,
+        "async_scale_ups": ups,
+        "throughput_ratio": threaded_s / async_s,
+        "min_ratio": min_ratio,
+        "workload": "poisson thread-per-client vs coroutine-per-client",
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--min-speedup", type=float,
                         default=float(os.environ.get("BENCH_MIN_SPEEDUP", 3.0)),
                         help="fail if batched/sequential speedup is below "
                              "this (default 3.0, env BENCH_MIN_SPEEDUP)")
+    parser.add_argument("--serving-min-ratio", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_SERVING_MIN_RATIO", 0.9)),
+                        help="fail if async serving throughput falls below "
+                             "this fraction of the threaded baseline "
+                             "(default 0.9, env BENCH_SERVING_MIN_RATIO)")
     parser.add_argument("--out", default="BENCH_mc_forward.json",
                         help="where to write the benchmark record")
     parser.add_argument("--samples", type=int, default=N_SAMPLES)
@@ -225,11 +396,15 @@ def main() -> int:
                           f"N={SPINBAYES_COMPONENTS} "
                           f"levels={SPINBAYES_LEVELS}")
 
+    serving = _gate_serving(args.serving_min_ratio)
+
     # Top-level keys keep the PR-1 layout (the SpinDrop engine);
-    # per-engine sections carry all three gates.
+    # per-engine sections carry all three gates, and the serving
+    # section the front-end comparison.
     record = dict(spindrop)
     record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes,
                          "segmentation": segmentation}
+    record["serving"] = serving
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
@@ -245,6 +420,16 @@ def main() -> int:
             print(f"FAIL: {name} batched engine below the "
                   f"{args.min_speedup}x gate")
             failed = True
+    print(f"[serving] threaded:   {serving['threaded_rows_per_s']:8.0f} "
+          f"rows/s ({SERVING_REPLICAS} replicas)")
+    print(f"[serving] async:      {serving['async_rows_per_s']:8.0f} "
+          f"rows/s (autoscaled to {serving['async_final_replicas']})")
+    print(f"[serving] ratio:      {serving['throughput_ratio']:8.2f}x  "
+          f"(gate: >= {args.serving_min_ratio}x)")
+    if serving["throughput_ratio"] < args.serving_min_ratio:
+        print(f"FAIL: async serving throughput below "
+              f"{args.serving_min_ratio}x of the threaded baseline")
+        failed = True
     print(f"record written to {args.out}")
     if failed:
         return 1

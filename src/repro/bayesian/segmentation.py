@@ -312,19 +312,59 @@ class SegmenterEngine:
     def mc_forward_batched(self, x: np.ndarray, n_samples: int = 10,
                            chunk_passes: Optional[int] = None
                            ) -> PredictiveResult:
+        """Pass-stacked MC segmentation in the scheduler contract.
+
+        Parameters
+        ----------
+        x:
+            Images, shape ``(N, C, H, W)``.
+        n_samples:
+            Monte-Carlo passes T.
+        chunk_passes:
+            Evaluate the pass-stack in chunks of this many passes to
+            bound peak memory (``None`` = all at once).
+
+        Returns
+        -------
+        PredictiveResult
+            Per-*pixel* distribution: ``samples`` is
+            ``(T, N·H·W, C)``, i.e. H·W result rows per input image.
+        """
         return mc_segment_batched(self.model, x, n_samples=n_samples,
                                   chunk_passes=chunk_passes)
 
     def mc_forward(self, x: np.ndarray, n_samples: int = 10,
                    batched: bool = True,
                    chunk_passes: Optional[int] = None) -> PredictiveResult:
+        """Like :meth:`mc_forward_batched`, with an escape hatch.
+
+        ``batched=False`` runs the sequential per-pass loop instead
+        of the stacked engine — same results bit for bit, useful for
+        cross-checking.  Arguments and return shape otherwise match
+        :meth:`mc_forward_batched`.
+        """
         return mc_segment(self.model, x, n_samples=n_samples,
                           batched=batched, chunk_passes=chunk_passes)
 
 
 def pixel_maps(result: PredictiveResult, image_shape: tuple):
-    """Reshape a segmentation result to (N, H, W) prediction and
-    entropy maps."""
+    """Reshape a per-pixel result into per-image maps.
+
+    Parameters
+    ----------
+    result:
+        A segmentation :class:`PredictiveResult` whose rows are
+        pixels (as produced by :func:`mc_segment` or a scheduler
+        serving a :class:`SegmenterEngine`).
+    image_shape:
+        ``(N, H, W)`` — the batch and spatial dims to restore.
+
+    Returns
+    -------
+    (predictions, entropy):
+        ``(N, H, W)`` integer class map and ``(N, H, W)`` predictive
+        entropy map (the paper's unknown-object detector).
+    """
     n, h, w = image_shape
     predictions = result.predictions.reshape(n, h, w)
     entropy = result.predictive_entropy.reshape(n, h, w)

@@ -1,5 +1,21 @@
-"""Serving layer: request coalescing over the batched MC engines."""
+"""Serving layer: request coalescing over the batched MC engines.
 
+Three front-ends share one coalescing core (see ``docs/serving.md``):
+
+- :class:`BatchScheduler` — synchronous, single engine;
+- :class:`ShardedScheduler` — synchronous, fan-out across engine
+  replicas;
+- :class:`AsyncBatchScheduler` — :mod:`asyncio` coroutines over
+  either, with :class:`LoadMetrics` observability and optional
+  :class:`Autoscaler`-driven replica scaling.
+"""
+
+from repro.serving.async_frontend import (
+    AsyncBatchScheduler,
+    AsyncPrediction,
+)
+from repro.serving.autoscale import Autoscaler
+from repro.serving.metrics import LoadMetrics, MetricsSnapshot
 from repro.serving.scheduler import (
     BatchScheduler,
     PendingPrediction,
@@ -8,7 +24,12 @@ from repro.serving.scheduler import (
 from repro.serving.sharded import ShardedScheduler
 
 __all__ = [
+    "AsyncBatchScheduler",
+    "AsyncPrediction",
+    "Autoscaler",
     "BatchScheduler",
+    "LoadMetrics",
+    "MetricsSnapshot",
     "PendingPrediction",
     "SchedulerStats",
     "ShardedScheduler",

@@ -1,0 +1,485 @@
+"""Async serving front-end over the batch schedulers.
+
+:class:`AsyncBatchScheduler` is the third front-end over the request
+coalescing machinery (after the synchronous
+:class:`~repro.serving.scheduler.BatchScheduler` and the threaded
+:class:`~repro.serving.sharded.ShardedScheduler`): it drives either
+of them from an :mod:`asyncio` event loop.
+
+- ``await submit(x)`` / ``await predict(x)`` coroutines replace the
+  blocking ticket API; results arrive as resolved futures — no
+  polling, and no ``result()``-forced flushes.
+- Deadline flushes are scheduled with ``loop.call_later`` instead of
+  the synchronous scheduler's timer thread, so an idle service holds
+  zero extra threads.
+- Engine calls run on a worker thread (``run_in_executor``); the
+  event loop never blocks on Monte-Carlo math.  Flushes are
+  serialized in submission order, which keeps the engine-call
+  sequence — and therefore every result — bit-for-bit identical to
+  the synchronous scheduler fed the same requests.
+- Backpressure: the queue is bounded by ``max_pending_rows`` rows
+  (queued *plus* in-flight).  ``await submit`` suspends when the
+  bound is hit and resumes as capacity frees; a cancelled request
+  releases its rows immediately.
+- Observability and scaling: every flush feeds a
+  :class:`~repro.serving.metrics.LoadMetrics` collector, and an
+  optional :class:`~repro.serving.autoscale.Autoscaler` is stepped
+  after each flush, growing/shrinking a sharded inner scheduler's
+  replica set under load.
+
+The inner scheduler is used purely as the *flush engine* (its
+validation, grouping, sharding, and error-isolation hooks); its own
+pending queue, deadline timer, and retained-result cache stay empty.
+Do not submit to it directly while an async front-end owns it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional
+
+from repro.bayesian.base import PredictiveResult
+from repro.serving.autoscale import Autoscaler
+from repro.serving.metrics import LoadMetrics
+from repro.serving.scheduler import (
+    BatchScheduler,
+    SchedulerStats,
+    _FailedResult,
+    _Request,
+)
+
+
+class AsyncPrediction:
+    """Awaitable handle for one submitted async request.
+
+    ``await ticket`` (or ``await ticket.result()``) yields the
+    request's :class:`~repro.bayesian.base.PredictiveResult`, raising
+    the engine's original exception if its flush failed.
+    :meth:`cancel` abandons a queued request and frees its
+    backpressure slot immediately.
+    """
+
+    __slots__ = ("_future", "n_rows", "n_samples")
+
+    def __init__(self, future: "asyncio.Future", n_rows: int,
+                 n_samples: int):
+        self._future = future
+        self.n_rows = n_rows
+        self.n_samples = n_samples
+
+    def done(self) -> bool:
+        """True once resolved (result, failure, or cancellation)."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Cancel the request; returns ``False`` if already resolved.
+
+        A still-queued request is dropped from the pending batch and
+        its rows are released to waiting submitters.  A request whose
+        flush is already running cannot be recalled from the engine;
+        its slot is released anyway and the computed slice discarded.
+        """
+        return self._future.cancel()
+
+    async def result(self) -> PredictiveResult:
+        """Wait for and return this request's predictive result.
+
+        Raises
+        ------
+        asyncio.CancelledError
+            If the ticket was cancelled.
+        Exception
+            The original engine exception, if the flush serving this
+            request failed.
+        """
+        return await self._future
+
+    def __await__(self):
+        return self._future.__await__()
+
+
+class AsyncBatchScheduler:
+    """Asyncio front-end coalescing requests over a sync scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The flush engine: a :class:`~repro.serving.scheduler.
+        BatchScheduler` or :class:`~repro.serving.sharded.
+        ShardedScheduler` (the latter adds replica fan-out and is
+        what the autoscaler controls).  Its ``max_batch``,
+        ``feature_shape``, and per-request ``n_samples`` semantics
+        apply unchanged.
+    flush_interval:
+        Deadline in seconds for the oldest queued request, enforced
+        with ``loop.call_later`` (no timer thread).  When ``None``
+        (default), the front-end flushes on the *next loop tick*
+        instead (``loop.call_soon``): every submit made in the
+        current tick — e.g. a ``gather`` of concurrent ``predict``
+        calls — still coalesces into one flush, and an awaited
+        prediction can never hang waiting for traffic that isn't
+        coming.  Set a real interval to trade latency for larger
+        batches under staggered arrivals.
+    max_pending_rows:
+        Backpressure bound on queued + in-flight rows; ``await
+        submit`` suspends beyond it.  Defaults to ``4 * max_batch``.
+        A request larger than the bound is accepted when the queue is
+        idle (mirroring the oversized-request rule of ``max_batch``).
+    metrics:
+        Load collector fed by every flush; created automatically when
+        omitted.
+    autoscaler:
+        Optional replica policy, stepped after each flush with the
+        live queue depth.  When it lacks a metrics source it adopts
+        this front-end's collector.
+    executor:
+        Worker pool for engine calls; defaults to a private
+        single-thread pool (flushes are serialized anyway — see the
+        bit-exactness note in the module docstring).
+
+    Raises
+    ------
+    ValueError
+        For a non-positive ``flush_interval`` or
+        ``max_pending_rows``.
+    """
+
+    def __init__(self, scheduler: BatchScheduler, *,
+                 flush_interval: Optional[float] = None,
+                 max_pending_rows: Optional[int] = None,
+                 metrics: Optional[LoadMetrics] = None,
+                 autoscaler: Optional[Autoscaler] = None,
+                 executor: Optional[ThreadPoolExecutor] = None):
+        if flush_interval is not None and flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        if max_pending_rows is None:
+            max_pending_rows = 4 * scheduler.max_batch
+        if max_pending_rows < 1:
+            raise ValueError("max_pending_rows must be positive")
+        self.scheduler = scheduler
+        self.max_batch = scheduler.max_batch
+        self.flush_interval = flush_interval
+        self.max_pending_rows = max_pending_rows
+        if metrics is None and autoscaler is not None \
+                and autoscaler.metrics is not None:
+            metrics = autoscaler.metrics     # share one collector
+        self.metrics = metrics if metrics is not None else LoadMetrics()
+        self.autoscaler = autoscaler
+        if autoscaler is not None and autoscaler.metrics is None:
+            autoscaler.metrics = self.metrics
+        self.stats = SchedulerStats()
+        self._own_executor = executor is None
+        self._executor = executor if executor is not None else \
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="mc-flush")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._flush_lock: Optional[asyncio.Lock] = None
+        self._pending: List[_Request] = []
+        self._pending_rows = 0
+        self._used_rows = 0                      # queued + in-flight
+        self._futures: Dict[int, asyncio.Future] = {}
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._flush_tasks: set = set()
+        self._background: set = set()            # spare replenishment
+        self._deadline_handle: Optional[asyncio.TimerHandle] = None
+        self._idle_handle: Optional[asyncio.Handle] = None
+        self._next_seq = 0
+        self._closed = False
+        # A failing autoscaler policy (e.g. an engine factory that
+        # raises) must not take serving down; the last error is kept
+        # here for inspection instead.
+        self.last_autoscale_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_rows(self) -> int:
+        """Rows queued for the next flush."""
+        return self._pending_rows
+
+    @property
+    def in_flight_rows(self) -> int:
+        """Rows admitted past backpressure but not yet resolved."""
+        return self._used_rows - self._pending_rows
+
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._flush_lock = asyncio.Lock()
+        elif loop is not self._loop:
+            raise RuntimeError(
+                "AsyncBatchScheduler is bound to one event loop; create "
+                "a new front-end per loop")
+        return loop
+
+    # ------------------------------------------------------------------
+    async def submit(self, x, n_samples: Optional[int] = None
+                     ) -> AsyncPrediction:
+        """Enqueue a request; suspends under backpressure.
+
+        ``x`` is ``(n, …features)`` or a single ``(…features,)``
+        sample; ``n_samples`` overrides the scheduler default for
+        this request only (grouped by T at flush, like the sync
+        front-ends).  Returns an awaitable :class:`AsyncPrediction`.
+
+        Raises
+        ------
+        RuntimeError
+            After :meth:`aclose`, or when called from a different
+            event loop than the first call.
+        ValueError
+            For the same invalid requests :meth:`BatchScheduler.
+            submit` rejects.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        loop = self._bind_loop()
+        x, n_samples = self.scheduler._normalize_request(x, n_samples)
+        rows = x.shape[0]
+        await self._acquire_rows(rows)
+        if self._closed:                 # closed while suspended
+            self._release_rows(rows)
+            raise RuntimeError("scheduler is closed")
+        seq = self._next_seq
+        self._next_seq += 1
+        future: asyncio.Future = loop.create_future()
+        self._futures[seq] = future
+        self._pending.append(_Request(seq, x, n_samples))
+        self._pending_rows += rows
+        self.stats.requests += 1
+        self.stats.rows += rows
+        future.add_done_callback(
+            lambda f, seq=seq, rows=rows: self._on_request_done(seq, rows))
+        self.metrics.observe_queue_depth(self._pending_rows)
+        if self._pending_rows >= self.max_batch:
+            self._start_flush()
+        elif self.flush_interval is not None:
+            if self._deadline_handle is None:
+                self._deadline_handle = loop.call_later(
+                    self.flush_interval, self._deadline_fire)
+        elif self._idle_handle is None:
+            # No deadline configured: flush when the loop finishes
+            # the current tick, after every concurrently-scheduled
+            # submit has joined the batch.
+            self._idle_handle = loop.call_soon(self._idle_fire)
+        return AsyncPrediction(future, rows, n_samples)
+
+    async def predict(self, x, n_samples: Optional[int] = None
+                      ) -> PredictiveResult:
+        """Submit one request and wait for its predictive result.
+
+        Equivalent to ``await (await submit(x, n_samples))``; raises
+        whatever :meth:`submit` or the ticket would raise.
+
+        The wait resolves when a flush runs — at ``max_batch`` rows,
+        at the ``flush_interval`` deadline (or the next loop tick
+        when no deadline is configured), or on an explicit
+        :meth:`flush`.  Unlike the synchronous ticket's ``result()``,
+        awaiting never *forces* a flush: concurrent ``predict`` calls
+        coalesce instead of racing each other's batches.
+        """
+        ticket = await self.submit(x, n_samples=n_samples)
+        return await ticket.result()
+
+    async def flush(self) -> int:
+        """Flush everything pending and wait for it to resolve.
+
+        Returns the number of requests flushed by *this* call.
+        """
+        self._bind_loop()
+        n_requests = len(self._pending)
+        task = self._start_flush()
+        if task is not None:
+            await task
+        return n_requests
+
+    async def drain(self) -> None:
+        """Wait until every queued and in-flight request resolves.
+
+        Requests submitted *while* draining are flushed and awaited
+        too (the loop re-checks the queue), so under continuous
+        traffic this only returns at a genuine gap.
+        """
+        self._bind_loop()
+        while self._pending or self._flush_tasks:
+            self._start_flush()
+            if self._flush_tasks:
+                await asyncio.gather(*list(self._flush_tasks),
+                                     return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Flush pending work, then release timers/executors.
+
+        Safe to call twice.  Submitters still suspended on
+        backpressure are woken and fail with ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None:
+            self._cancel_deadline()
+            while self._pending or self._flush_tasks or self._background:
+                self._start_flush()
+                await asyncio.gather(*list(self._flush_tasks),
+                                     *list(self._background),
+                                     return_exceptions=True)
+            self._wake_waiters()
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncBatchScheduler":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def _acquire_rows(self, rows: int) -> None:
+        """Suspend until ``rows`` fit under ``max_pending_rows``.
+
+        An oversized request is admitted once the queue is completely
+        idle, so it can never deadlock.  FIFO-fair: wakeups re-check
+        in arrival order.
+        """
+        loop = self._bind_loop()
+        while self._used_rows > 0 \
+                and self._used_rows + rows > self.max_pending_rows:
+            waiter: asyncio.Future = loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+        self._used_rows += rows
+
+    def _release_rows(self, rows: int) -> None:
+        self._used_rows -= rows
+        self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def _on_request_done(self, seq: int, rows: int) -> None:
+        """Done-callback of every request future (fires exactly once:
+        result, failure, or cancellation) — the single place a
+        request's backpressure slot is released."""
+        future = self._futures.pop(seq, None)
+        if future is not None and future.cancelled():
+            # Still queued?  Drop it so the flush skips the work.
+            for i, request in enumerate(self._pending):
+                if request.seq == seq:
+                    del self._pending[i]
+                    self._pending_rows -= rows
+                    self.metrics.observe_queue_depth(self._pending_rows)
+                    break
+        self._release_rows(rows)
+
+    # ------------------------------------------------------------------
+    def _deadline_fire(self) -> None:
+        self._deadline_handle = None
+        if self._pending:
+            self.stats.timer_flushes += 1
+            self._start_flush()
+
+    def _idle_fire(self) -> None:
+        self._idle_handle = None
+        if self._pending:
+            self._start_flush()
+
+    def _cancel_deadline(self) -> None:
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
+            self._deadline_handle = None
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
+
+    def _start_flush(self) -> Optional["asyncio.Task"]:
+        """Detach the pending batch into a serialized flush task."""
+        self._cancel_deadline()
+        if not self._pending:
+            return None
+        batch, self._pending = self._pending, []
+        self._pending_rows = 0
+        self.metrics.observe_queue_depth(0)
+        task = self._loop.create_task(self._flush_task(batch))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+        return task
+
+    async def _flush_task(self, batch: List[_Request]) -> None:
+        """One flush: engine work on the executor, then resolution.
+
+        The async lock serializes engine calls across overlapping
+        flushes — replica engines hold RNG state, and the sequential
+        call order is what makes results bit-identical to the sync
+        scheduler.
+        """
+        async with self._flush_lock:
+            try:
+                resolved = await self._loop.run_in_executor(
+                    self._executor, self._run_flush, batch)
+            except Exception as exc:     # noqa: BLE001 — defensive
+                resolved = {r.seq: _FailedResult(exc) for r in batch}
+            for request in batch:
+                future = self._futures.get(request.seq)
+                if future is None or future.done():
+                    continue             # cancelled mid-flight
+                value = resolved.get(request.seq)
+                if isinstance(value, _FailedResult):
+                    future.set_exception(value.exc)
+                elif value is None:
+                    future.set_exception(RuntimeError(
+                        f"flush produced no result for request "
+                        f"{request.seq}"))
+                else:
+                    future.set_result(value)
+            self._autoscale_step()
+
+    def _run_flush(self, batch: List[_Request]) -> Dict[int, object]:
+        """Executor-side flush body: group by T, reuse the sync
+        scheduler's engine/sharding hooks, feed the metrics."""
+        scheduler = self.scheduler
+        resolved: Dict[int, object] = {}
+        for n_samples, requests in \
+                scheduler._group_requests(batch).items():
+            rows = sum(r.x.shape[0] for r in requests)
+            t0 = time.perf_counter()
+            resolved.update(
+                scheduler._run_group_safe(requests, n_samples))
+            latency = time.perf_counter() - t0
+            self.stats.flushes += 1
+            if len(requests) > 1:
+                self.stats.coalesced_rows += rows
+            self.metrics.record_flush(
+                rows=rows, n_requests=len(requests), latency_s=latency,
+                replica_loads=scheduler.last_shard_loads)
+        return resolved
+
+    def _autoscale_step(self) -> None:
+        """Step the autoscaler between flushes (loop thread, flush
+        lock held — no engine call can race the replica mutation)."""
+        if self.autoscaler is None or self._closed:
+            return
+        try:
+            delta = self.autoscaler.step(queue_rows=self._pending_rows)
+        except Exception as exc:         # noqa: BLE001 — see attribute
+            self.last_autoscale_error = exc
+            return
+        if delta > 0 and self.autoscaler.spare_count == 0:
+            # Rebuild the warm spare off the hot path: the default
+            # executor, not the (serialized) flush worker.
+            future = self._loop.run_in_executor(
+                None, self.autoscaler.replenish_spares)
+            self._background.add(future)
+            future.add_done_callback(self._background.discard)

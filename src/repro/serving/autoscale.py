@@ -1,0 +1,224 @@
+"""Replica autoscaling policy for the sharded scheduler.
+
+:class:`Autoscaler` closes the serving control loop: it reads
+:class:`~repro.serving.metrics.MetricsSnapshot` signals (EWMA
+utilization and pending-queue depth) and grows or shrinks a
+:class:`~repro.serving.sharded.ShardedScheduler`'s replica set
+between ``min_replicas`` and ``max_replicas``.
+
+Design points:
+
+- **Hysteresis** — scale-up triggers at ``scale_up_utilization`` (or
+  a per-replica queue high-watermark), scale-down only *below*
+  ``scale_down_utilization`` with an empty-enough queue; the band in
+  between holds the current size and resets both patience streaks, so
+  load hovering around a threshold cannot make the replica count
+  oscillate.
+- **Patience + cooldown** — each direction needs its configured
+  number of *consecutive* qualifying observations, and after any
+  action the policy waits ``cooldown_s`` before acting again.
+- **Warm spares** — scale-up pops a pre-built engine from the spare
+  pool (O(1) list append on the scheduler) instead of constructing
+  one mid-traffic, so growing the replica set never stalls an
+  in-flight flush; replicas removed on scale-down refill the pool
+  (up to ``warm_spares``), and :meth:`Autoscaler.replenish_spares`
+  rebuilds the rest off the hot path.
+
+The policy is deliberately synchronous and side-effect free except
+for the scheduler mutation: drive it by calling :meth:`Autoscaler.
+step` after each flush (the async front-end does this automatically)
+or from any periodic task.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.serving.metrics import LoadMetrics, MetricsSnapshot
+
+
+class Autoscaler:
+    """Grow/shrink a sharded scheduler's replica set from load metrics.
+
+    Parameters
+    ----------
+    scheduler:
+        The :class:`~repro.serving.sharded.ShardedScheduler` whose
+        replica set this policy controls (anything exposing
+        ``n_replicas`` / ``add_replica`` / ``remove_replica``).
+    engine_factory:
+        Zero-argument callable building one fresh engine replica.
+    metrics:
+        The :class:`~repro.serving.metrics.LoadMetrics` feeding the
+        policy; optional when every :meth:`step` call passes an
+        explicit snapshot.
+    min_replicas / max_replicas:
+        Inclusive clamp on the replica count.
+    scale_up_utilization / scale_down_utilization:
+        EWMA-utilization thresholds; the gap between them is the
+        hysteresis band (must be positive).
+    scale_up_queue_rows:
+        Per-replica pending-row high watermark that also triggers
+        scale-up (a burst fills the queue long before the utilization
+        EWMA catches up).  Defaults to ``2 * scheduler.max_batch``.
+    up_patience / down_patience:
+        Consecutive qualifying observations required per direction.
+        Scale-down defaults to more patience than scale-up: adding
+        capacity late drops requests, removing it late only wastes a
+        replica.
+    cooldown_s:
+        Minimum seconds between scaling actions.
+    warm_spares:
+        Target size of the pre-built engine pool.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, scheduler, engine_factory: Callable[[], object], *,
+                 metrics: Optional[LoadMetrics] = None,
+                 min_replicas: int = 1, max_replicas: int = 4,
+                 scale_up_utilization: float = 0.75,
+                 scale_down_utilization: float = 0.30,
+                 scale_up_queue_rows: Optional[float] = None,
+                 up_patience: int = 1, down_patience: int = 3,
+                 cooldown_s: float = 0.0, warm_spares: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if max_replicas < min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if not scale_down_utilization < scale_up_utilization:
+            raise ValueError(
+                "need a hysteresis band: scale_down_utilization must be "
+                "strictly below scale_up_utilization")
+        if up_patience < 1 or down_patience < 1:
+            raise ValueError("patience values must be at least 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if warm_spares < 0:
+            raise ValueError("warm_spares must be non-negative")
+        self.scheduler = scheduler
+        self.engine_factory = engine_factory
+        self.metrics = metrics
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.scale_up_utilization = scale_up_utilization
+        self.scale_down_utilization = scale_down_utilization
+        if scale_up_queue_rows is None:
+            scale_up_queue_rows = 2.0 * getattr(scheduler, "max_batch", 64)
+        self.scale_up_queue_rows = scale_up_queue_rows
+        self.up_patience = up_patience
+        self.down_patience = down_patience
+        self.cooldown_s = cooldown_s
+        self.warm_spares = warm_spares
+        self._clock = clock
+        self._spares: List[object] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_action: Optional[float] = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.replenish_spares()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        """Current replica count of the controlled scheduler."""
+        return self.scheduler.n_replicas
+
+    @property
+    def spare_count(self) -> int:
+        """Warm engines ready for an O(1) scale-up."""
+        return len(self._spares)
+
+    def replenish_spares(self) -> int:
+        """Build engines until the warm pool holds ``warm_spares``.
+
+        Engine construction is the expensive part of scaling up
+        (weight decode, crossbar programming); run this off the hot
+        path — at start-up, or on a background executor after a
+        scale-up consumed a spare.  Returns the number built.
+        """
+        built = 0
+        while len(self._spares) < self.warm_spares:
+            self._spares.append(self.engine_factory())
+            built += 1
+        return built
+
+    # ------------------------------------------------------------------
+    def step(self, snapshot: Optional[MetricsSnapshot] = None,
+             queue_rows: Optional[int] = None) -> int:
+        """Run one policy observation; returns the replica delta.
+
+        ``snapshot`` defaults to ``self.metrics.snapshot()``;
+        ``queue_rows`` overrides the snapshot's queue depth (the
+        async front-end passes its live pending-row count, which is
+        fresher than the last recorded observation).
+
+        Returns ``+1`` (scaled up), ``-1`` (scaled down), or ``0``.
+        Out-of-clamp replica counts are corrected first, regardless of
+        load, patience, or cooldown.
+        """
+        n = self.scheduler.n_replicas
+        if n < self.min_replicas:
+            return self._scale_up()
+        if n > self.max_replicas:
+            return self._scale_down()
+        if snapshot is None:
+            if self.metrics is None:
+                return 0
+            snapshot = self.metrics.snapshot()
+        queue = (snapshot.queue_depth if queue_rows is None
+                 else queue_rows)
+        per_replica_queue = queue / max(n, 1)
+
+        hot = (snapshot.utilization >= self.scale_up_utilization
+               or per_replica_queue >= self.scale_up_queue_rows)
+        cold = (snapshot.utilization <= self.scale_down_utilization
+                and per_replica_queue < 1.0)
+
+        if hot:
+            self._down_streak = 0
+            self._up_streak += 1
+            if (self._up_streak >= self.up_patience
+                    and n < self.max_replicas
+                    and self._cooldown_over()):
+                return self._scale_up()
+        elif cold:
+            self._up_streak = 0
+            self._down_streak += 1
+            if (self._down_streak >= self.down_patience
+                    and n > self.min_replicas
+                    and self._cooldown_over()):
+                return self._scale_down()
+        else:
+            # Hysteresis band: hold, and require fresh streaks.
+            self._up_streak = 0
+            self._down_streak = 0
+        return 0
+
+    # ------------------------------------------------------------------
+    def _cooldown_over(self) -> bool:
+        return (self._last_action is None
+                or self._clock() - self._last_action >= self.cooldown_s)
+
+    def _scale_up(self) -> int:
+        engine = self._spares.pop() if self._spares else self.engine_factory()
+        self.scheduler.add_replica(engine)
+        self._after_action()
+        self.scale_ups += 1
+        return 1
+
+    def _scale_down(self) -> int:
+        engine = self.scheduler.remove_replica()
+        if len(self._spares) < self.warm_spares:
+            self._spares.append(engine)
+        self._after_action()
+        self.scale_downs += 1
+        return -1
+
+    def _after_action(self) -> None:
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_action = self._clock()

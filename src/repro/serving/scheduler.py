@@ -65,6 +65,21 @@ class _Request:
     n_samples: int
 
 
+class _FailedResult:
+    """A flush-time engine failure, stored in a request's result slot.
+
+    When an engine call raises, only the requests of that call fail:
+    their slots hold the original exception (re-raised, traceback
+    intact, when the ticket is resolved) while sibling requests from
+    other T-groups or shards resolve normally.
+    """
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
 class PendingPrediction:
     """Handle for a submitted request; resolves on flush.
 
@@ -82,9 +97,23 @@ class PendingPrediction:
         self.n_samples = n_samples
 
     def done(self) -> bool:
+        """True once the request's flush has run (even if it failed)."""
         return self._scheduler._has_result(self._seq)
 
     def result(self) -> PredictiveResult:
+        """Return (once) this request's :class:`PredictiveResult`.
+
+        Forces a flush if the request is still pending.
+
+        Raises
+        ------
+        RuntimeError
+            If the result was already consumed, or was evicted past
+            ``max_retained_results``.
+        Exception
+            If the engine call serving this request raised, the
+            original exception is re-raised with its traceback.
+        """
         return self._scheduler._resolve(self._seq)
 
 
@@ -160,7 +189,12 @@ class BatchScheduler:
         self._lock = threading.RLock()
         self._pending: List[_Request] = []
         self._pending_rows = 0
-        self._results: dict[int, PredictiveResult] = {}
+        # Rows served by each engine replica in the most recent engine
+        # call ([total] for the single-engine scheduler; one entry per
+        # replica for ShardedScheduler) — the load-metrics hook.
+        self.last_shard_loads: List[int] = []
+        # Values are PredictiveResult or _FailedResult slots.
+        self._results: dict[int, object] = {}
         # Evicted seqs are remembered (insertion-ordered, bounded) so
         # their tickets raise a precise error; beyond the bound the
         # oldest degrade to the generic "already consumed" message
@@ -182,6 +216,41 @@ class BatchScheduler:
         the request's batch is flushed (automatically at ``max_batch``
         rows, after ``flush_interval`` seconds, or on :meth:`flush` /
         ``result()``).
+
+        Raises
+        ------
+        ValueError
+            For an empty request, a feature-shape mismatch, an
+            ambiguous multi-dimensional first request without
+            ``feature_shape``, or ``n_samples < 1``.
+        """
+        with self._lock:
+            x, n_samples = self._normalize_request(x, n_samples)
+            seq = self._next_seq
+            self._next_seq += 1
+            was_empty = not self._pending
+            self._pending.append(_Request(seq, x, n_samples))
+            self._pending_rows += x.shape[0]
+            self.stats.requests += 1
+            self.stats.rows += x.shape[0]
+            ticket = PendingPrediction(self, seq, x.shape[0], n_samples)
+            if self._pending_rows >= self.max_batch:
+                self._flush_locked()
+            elif was_empty and self.flush_interval is not None \
+                    and not self._closed:
+                self._arm_timer_locked()
+            return ticket
+
+    def _normalize_request(self, x: np.ndarray,
+                           n_samples: Optional[int]) -> tuple:
+        """Validate one request; return the batched array and its T.
+
+        Shared by the synchronous :meth:`submit` and the async
+        front-end (:class:`~repro.serving.async_frontend.
+        AsyncBatchScheduler`), so both enforce identical feature-shape
+        inference and per-request sample-count rules.  Takes the
+        scheduler lock (re-entrant) because it may fix
+        ``_feature_shape`` from the first request.
         """
         if n_samples is None:
             n_samples = self.n_samples
@@ -211,20 +280,7 @@ class BatchScheduler:
                     f"features {self._feature_shape}")
             if x.shape[0] == 0:
                 raise ValueError("empty request")
-            seq = self._next_seq
-            self._next_seq += 1
-            was_empty = not self._pending
-            self._pending.append(_Request(seq, x, n_samples))
-            self._pending_rows += x.shape[0]
-            self.stats.requests += 1
-            self.stats.rows += x.shape[0]
-            ticket = PendingPrediction(self, seq, x.shape[0], n_samples)
-            if self._pending_rows >= self.max_batch:
-                self._flush_locked()
-            elif was_empty and self.flush_interval is not None \
-                    and not self._closed:
-                self._arm_timer_locked()
-            return ticket
+        return x, n_samples
 
     def flush(self) -> int:
         """Run batched MC over everything pending (one call per T).
@@ -286,14 +342,8 @@ class BatchScheduler:
             return 0
         batch, self._pending = self._pending, []
         self._pending_rows = 0
-        # Group by requested sample count; each group is one engine
-        # call whose samples every member shares, exactly as a direct
-        # mc_forward_batched over the group's concatenated inputs.
-        groups: Dict[int, List[_Request]] = {}
-        for request in batch:
-            groups.setdefault(request.n_samples, []).append(request)
-        for n_samples, requests in groups.items():
-            resolved = self._run_group(requests, n_samples)
+        for n_samples, requests in self._group_requests(batch).items():
+            resolved = self._run_group_safe(requests, n_samples)
             self.stats.flushes += 1
             if len(requests) > 1:
                 self.stats.coalesced_rows += sum(
@@ -310,10 +360,39 @@ class BatchScheduler:
             del self._evicted_seqs[next(iter(self._evicted_seqs))]
         return len(batch)
 
+    @staticmethod
+    def _group_requests(batch: List[_Request]
+                        ) -> Dict[int, List[_Request]]:
+        """Group a flush batch by requested sample count.
+
+        Each group is one engine call whose samples every member
+        shares, exactly as a direct ``mc_forward_batched`` over the
+        group's concatenated inputs.  Insertion-ordered (groups run in
+        arrival order of their first member), so a seeded replay of
+        the same submissions reproduces the engine-call sequence —
+        the async front-end reuses this helper to keep that guarantee.
+        """
+        groups: Dict[int, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.n_samples, []).append(request)
+        return groups
+
+    def _run_group_safe(self, requests: List[_Request],
+                        n_samples: int) -> Dict[int, object]:
+        """Run one T-group, converting an engine failure into
+        :class:`_FailedResult` slots for exactly that group's
+        requests — a poisoned engine must not wedge sibling groups
+        (their tickets would otherwise stay pending forever)."""
+        try:
+            return self._run_group(requests, n_samples)
+        except Exception as exc:      # noqa: BLE001 — delivered to tickets
+            return {r.seq: _FailedResult(exc) for r in requests}
+
     def _run_group(self, requests: List[_Request],
                    n_samples: int) -> Dict[int, PredictiveResult]:
         """One engine call over a same-T group; per-request slices."""
         coalesced = np.concatenate([r.x for r in requests], axis=0)
+        self.last_shard_loads = [coalesced.shape[0]]
         result = self.engine.mc_forward_batched(
             coalesced, n_samples=n_samples, chunk_passes=self.chunk_passes)
         return self._slice_group(requests, result)
@@ -367,4 +446,9 @@ class BatchScheduler:
                 raise RuntimeError(
                     f"result for request {seq} was already consumed "
                     f"(each ticket's result() can be taken once)")
-            return self._results.pop(seq)
+            value = self._results.pop(seq)
+        if isinstance(value, _FailedResult):
+            # Re-raise the engine's original exception (traceback
+            # intact) outside the lock.
+            raise value.exc
+        return value

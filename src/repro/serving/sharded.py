@@ -15,6 +15,13 @@ greedy assignment in arrival order.
 Replica calls run concurrently on a thread pool by default; numpy
 releases the GIL inside its BLAS kernels, so the shards genuinely
 overlap.
+
+The replica set is dynamic: :meth:`ShardedScheduler.add_replica` /
+:meth:`ShardedScheduler.remove_replica` grow and shrink it at
+runtime — the lever the :class:`~repro.serving.autoscale.Autoscaler`
+pulls.  A replica whose engine call raises fails only its own shard's
+tickets (the original exception re-raised on ``result()``); sibling
+shards resolve normally.
 """
 
 from __future__ import annotations
@@ -24,8 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.bayesian.base import PredictiveResult
-from repro.serving.scheduler import BatchScheduler, _Request
+from repro.serving.scheduler import BatchScheduler, _FailedResult, _Request
 
 
 class ShardedScheduler(BatchScheduler):
@@ -36,7 +42,8 @@ class ShardedScheduler(BatchScheduler):
     engines:
         One batched MC engine per replica (each exposing
         ``mc_forward_batched``).  The first replica doubles as the
-        scheduler's nominal ``engine`` attribute.
+        scheduler's nominal ``engine`` attribute and can never be
+        removed.
     parallel:
         Run replica calls on a thread pool (default).  ``False``
         executes shards sequentially — useful for deterministic tests
@@ -52,32 +59,102 @@ class ShardedScheduler(BatchScheduler):
             raise ValueError("need at least one engine replica")
         super().__init__(engines[0], **kwargs)
         self.engines = engines
-        self.parallel = parallel and len(engines) > 1
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=len(engines),
-                               thread_name_prefix="shard")
-            if self.parallel else None)
+        self.parallel = parallel
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+        # Pools replaced by growth are retired, not shut down: a
+        # concurrent flush may have snapshotted one and must still be
+        # able to submit to it.  They are closed with the scheduler.
+        self._retired_pools: List[ThreadPoolExecutor] = []
+        with self._lock:
+            self._ensure_pool_locked()
 
     @property
     def n_replicas(self) -> int:
-        return len(self.engines)
+        """Current number of engine replicas."""
+        with self._lock:
+            return len(self.engines)
+
+    def add_replica(self, engine) -> int:
+        """Append an engine replica; returns the new replica count.
+
+        Safe to call at any time: flushes snapshot the replica list
+        under the scheduler lock, so in-flight shard calls keep using
+        the set they started with.  O(1) when the caller hands over a
+        pre-built (warm) engine — the autoscaler's scale-up path.
+        """
+        with self._lock:
+            self.engines.append(engine)
+            self._ensure_pool_locked()
+            return len(self.engines)
+
+    def remove_replica(self):
+        """Drop and return the most recently added replica.
+
+        The returned engine is no longer scheduled new shards (it may
+        still be finishing one, which completes normally) and can be
+        kept as a warm spare for a later :meth:`add_replica`.
+
+        Raises
+        ------
+        ValueError
+            When only one replica remains — a scheduler always keeps
+            at least one engine.
+        """
+        with self._lock:
+            if len(self.engines) <= 1:
+                raise ValueError(
+                    "cannot remove the last engine replica")
+            return self.engines.pop()
 
     def close(self) -> None:
+        """Flush pending requests and shut down the shard pools."""
         super().close()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pools, self._pool = [self._pool], None
+            pools.extend(self._retired_pools)
+            self._retired_pools = []
+            self._pool_size = 0
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
-    def _partition(self, requests: List[_Request]) -> List[List[_Request]]:
+    def _ensure_pool_locked(self) -> None:
+        """(Re)size the shard pool to the replica count.
+
+        Growth replaces the executor; the old one is *retired*, not
+        shut down, because an in-flight flush may have snapshotted it
+        and still needs to submit shard calls (shutting it down here
+        would fail that flush's whole T-group).  Retired pools hold
+        only idle threads, are bounded by the number of scale-ups in
+        the scheduler's lifetime, and are closed in :meth:`close`.
+        Shrink keeps the larger pool, whose idle threads are free.
+        """
+        if not self.parallel or len(self.engines) < 2:
+            return
+        if self._pool is not None and self._pool_size >= len(self.engines):
+            return
+        if self._pool is not None:
+            self._retired_pools.append(self._pool)
+        self._pool_size = len(self.engines)
+        self._pool = ThreadPoolExecutor(max_workers=self._pool_size,
+                                        thread_name_prefix="shard")
+
+    def _partition(self, requests: List[_Request],
+                   n_replicas: Optional[int] = None
+                   ) -> List[List[_Request]]:
         """Assign whole requests to replicas, balancing row counts.
 
         Greedy in arrival order: each request goes to the currently
         least-loaded replica.  Deterministic, so a given submission
-        sequence always lands on the same replicas.
+        sequence always lands on the same replicas (for a fixed
+        replica count).
         """
-        shards: List[List[_Request]] = [[] for _ in self.engines]
-        loads = [0] * len(self.engines)
+        if n_replicas is None:
+            n_replicas = len(self.engines)
+        shards: List[List[_Request]] = [[] for _ in range(n_replicas)]
+        loads = [0] * n_replicas
         for request in requests:
             target = loads.index(min(loads))
             shards[target].append(request)
@@ -85,23 +162,37 @@ class ShardedScheduler(BatchScheduler):
         return shards
 
     def _run_group(self, requests: List[_Request],
-                   n_samples: int) -> Dict[int, PredictiveResult]:
-        shards = self._partition(requests)
-        occupied = [(engine, shard)
-                    for engine, shard in zip(self.engines, shards) if shard]
+                   n_samples: int) -> Dict[int, object]:
+        """One same-T group across the replicas; per-request slices.
 
-        def run_shard(engine, shard: List[_Request]
-                      ) -> Dict[int, PredictiveResult]:
-            coalesced = np.concatenate([r.x for r in shard], axis=0)
-            result = engine.mc_forward_batched(
-                coalesced, n_samples=n_samples,
-                chunk_passes=self.chunk_passes)
-            return self._slice_group(shard, result)
+        A shard whose engine call raises resolves to
+        :class:`_FailedResult` slots for exactly its own requests —
+        sibling shards (other replicas, and other threads' futures)
+        are never left pending.
+        """
+        with self._lock:
+            engines = list(self.engines)
+            pool = self._pool
+        shards = self._partition(requests, len(engines))
+        self.last_shard_loads = [sum(r.x.shape[0] for r in shard)
+                                 for shard in shards]
+        occupied = [(engine, shard)
+                    for engine, shard in zip(engines, shards) if shard]
+
+        def run_shard(engine, shard: List[_Request]) -> Dict[int, object]:
+            try:
+                coalesced = np.concatenate([r.x for r in shard], axis=0)
+                result = engine.mc_forward_batched(
+                    coalesced, n_samples=n_samples,
+                    chunk_passes=self.chunk_passes)
+                return self._slice_group(shard, result)
+            except Exception as exc:  # noqa: BLE001 — delivered per ticket
+                return {r.seq: _FailedResult(exc) for r in shard}
 
         self.stats.shard_calls += len(occupied)
-        resolved: Dict[int, PredictiveResult] = {}
-        if self._pool is not None and len(occupied) > 1:
-            futures = [self._pool.submit(run_shard, engine, shard)
+        resolved: Dict[int, object] = {}
+        if pool is not None and len(occupied) > 1:
+            futures = [pool.submit(run_shard, engine, shard)
                        for engine, shard in occupied]
             for future in futures:
                 resolved.update(future.result())

@@ -327,6 +327,36 @@ class TestConcurrencyStress:
         assert not scheduler._results     # every ticket claimed its slice
 
 
+class TestGroupFailureIsolation:
+    """An engine failure fails exactly the requests of that engine
+    call (one T-group), never the sibling groups in the same flush."""
+
+    class _TSelectivePoison:
+        def __init__(self, engine, poisoned_t):
+            self._engine = engine
+            self._poisoned_t = poisoned_t
+
+        def mc_forward_batched(self, x, n_samples=10, chunk_passes=None):
+            if n_samples == self._poisoned_t:
+                raise RuntimeError("boom: poisoned T-group")
+            return self._engine.mc_forward_batched(
+                x, n_samples=n_samples, chunk_passes=chunk_passes)
+
+    def test_poisoned_t_group_leaves_siblings_resolved(self):
+        scheduler = BatchScheduler(
+            self._TSelectivePoison(_engine(), poisoned_t=7), n_samples=3)
+        good = scheduler.submit(RNG.standard_normal((2, 12)))
+        bad = scheduler.submit(RNG.standard_normal((1, 12)), n_samples=7)
+        scheduler.flush()
+        assert good.done() and bad.done()
+        assert good.result().probs.shape == (2, 3)
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.result()
+        # The failure slot is consumed like any result.
+        with pytest.raises(RuntimeError, match="already consumed"):
+            bad.result()
+
+
 class TestMultiDimFeatures:
     """Image engines: feature shapes with more than one axis."""
 

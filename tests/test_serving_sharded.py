@@ -92,3 +92,59 @@ class TestSharding:
         shards = sharded._partition(sharded._pending)
         rows = sorted(sum(r.x.shape[0] for r in shard) for shard in shards)
         assert rows == [4, 4]
+
+
+class _PoisonEngine:
+    """Replica whose every engine call fails."""
+
+    def mc_forward_batched(self, x, n_samples=10, chunk_passes=None):
+        raise RuntimeError("boom: poisoned replica")
+
+
+class TestShardFailureIsolation:
+    """Regression: a replica failure used to abort the whole flush,
+    leaving *sibling* shards' tickets pending forever."""
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_poisoned_replica_fails_only_its_own_tickets(self, parallel):
+        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+                                   n_samples=3, parallel=parallel)
+        # Greedy row balance: req0 (2 rows) -> replica0, req1 (3 rows)
+        # -> poisoned replica1, req2 (1 row) -> replica0.
+        ok1 = sharded.submit(RNG.standard_normal((2, 12)))
+        bad = sharded.submit(RNG.standard_normal((3, 12)))
+        ok2 = sharded.submit(RNG.standard_normal((1, 12)))
+        sharded.flush()
+        # Every ticket resolved — none left pending.
+        assert ok1.done() and bad.done() and ok2.done()
+        assert ok1.result().probs.shape == (2, 3)
+        assert ok2.result().probs.shape == (1, 3)
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.result()
+
+    def test_failure_carries_the_original_traceback(self):
+        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+                                   n_samples=3, parallel=False)
+        sharded.submit(RNG.standard_normal((2, 12)))
+        bad = sharded.submit(RNG.standard_normal((3, 12)))
+        sharded.submit(RNG.standard_normal((1, 12)))
+        sharded.flush()
+        with pytest.raises(RuntimeError) as excinfo:
+            bad.result()
+        frames = [f.name for f in excinfo.traceback]
+        assert "mc_forward_batched" in frames    # the engine frame
+
+    def test_scheduler_keeps_serving_after_a_shard_failure(self):
+        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+                                   n_samples=2, parallel=False)
+        sharded.submit(RNG.standard_normal((2, 12)))
+        bad = sharded.submit(RNG.standard_normal((3, 12)))
+        sharded.flush()
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.result()
+        # Replace the poisoned replica; traffic resumes.
+        assert sharded.remove_replica().__class__ is _PoisonEngine
+        sharded.add_replica(_engine(seed=6))
+        later = sharded.submit(RNG.standard_normal((2, 12)))
+        sharded.flush()
+        assert later.result().probs.shape == (2, 3)
