@@ -1,29 +1,43 @@
 """CI benchmark gate: batched MC inference must beat sequential.
 
-Times T-pass Monte-Carlo inference for THREE engines — the Table-I
+Times T-pass Monte-Carlo inference for FOUR engines — the Table-I
 (fast preset) SpinDrop MLP on :class:`BayesianCim`, the subset-VI
 teacher deployed as a :class:`SpinBayesNetwork` (N crossbars +
-arbiter per layer), and the §III-B.2 Bayesian segmenter through the
-pass-stacked ``mc_segment_batched`` engine — once through the
-original sequential per-pass loop and once through the batched
-engine.  For each engine it verifies the two paths are bit-for-bit
-identical (samples, and ledger totals for the deployed engines; the
-segmentation gate additionally checks that a warm engine performs
-zero im2col index-plan rebuilds), writes the measurements to
-``BENCH_mc_forward.json``, and exits non-zero if any batched path is
-not at least ``--min-speedup`` (default 3×) faster.
+arbiter per layer), the §III-B.2 Bayesian segmenter through the
+pass-stacked ``mc_segment_batched`` engine, and the deployed
+Spatial-SpinDrop CNN (``cim_conv``: :class:`CimConv2d` crossbars on
+the plan-cached, arena-backed, exact-integer conv kernel) — once
+through the original sequential per-pass loop and once through the
+batched engine.  For each engine it verifies the two paths are
+bit-for-bit identical (samples, and ledger totals for the deployed
+engines; the segmentation and cim_conv gates additionally check that
+a warm engine performs zero im2col index-plan rebuilds), writes the
+measurements to ``BENCH_mc_forward.json``, and exits non-zero if any
+batched path is not at least its per-engine minimum speedup faster
+(``--min-speedup``, default 3×; the deployed conv chain gates at
+``--cim-conv-min-speedup``, default 2×, because its sequential
+baseline shares the same fast kernels).
 
-A fourth, serving-level gate replays the same Poisson arrival
-workload through the threaded ``ShardedScheduler`` (thread-per-client
+A serving-level gate replays the same Poisson arrival workload
+through the threaded ``ShardedScheduler`` (thread-per-client
 submitters polling their tickets) and through the asyncio
 ``AsyncBatchScheduler`` with an ``Autoscaler`` on top, and fails if
 the async front-end's throughput regresses below
 ``--serving-min-ratio`` of the threaded baseline (see
 ``docs/benchmarks.md``).
 
+``--compare BASELINE.json`` additionally makes the gate trend-aware:
+after the fresh run, every engine speedup (and the serving throughput
+ratio) is diffed against the committed baseline record, and the gate
+fails if any entry present in both regressed by more than
+``--compare-tolerance`` (default 20%) — so a change can pass the
+absolute thresholds yet still fail CI by giving back a previously
+banked speedup.
+
 Run locally from a source checkout:
 
     python scripts/bench_ci.py
+    python scripts/bench_ci.py --compare BENCH_mc_forward.json
 
 CI runs it as a separate job so a perf regression in the batched
 engines fails the build even when all functional tests pass.
@@ -40,6 +54,7 @@ try:
         BayesianCim,
         SpinBayesNetwork,
         make_bayesian_segmenter,
+        make_spatial_spindrop_cnn,
         make_spindrop_mlp,
         make_subset_vi_mlp,
         mc_segment,
@@ -54,6 +69,7 @@ except ImportError:  # source checkout without install
         BayesianCim,
         SpinBayesNetwork,
         make_bayesian_segmenter,
+        make_spatial_spindrop_cnn,
         make_spindrop_mlp,
         make_subset_vi_mlp,
         mc_segment,
@@ -96,6 +112,15 @@ SPINBAYES_LEVELS = 16
 SEG_BATCH = 1
 SEG_SIZE = 16
 SEG_SAMPLES = 10
+# Deployed conv slice: the Spatial-SpinDrop CNN compiled to CimConv2d
+# crossbars, T=10 on a small coalesced batch.  Its sequential baseline
+# runs the same plan-cached/exact-integer kernels, so the batched win
+# is pass-stacking + prefix memoization alone — gated at 2x instead
+# of the software engines' 3x.
+CIM_CONV_BATCH = 4
+CIM_CONV_SIZE = 16
+CIM_CONV_WIDTHS = (8, 16)
+CIM_CONV_SAMPLES = 10
 # Serving front-end gate: a fixed Poisson arrival trace replayed once
 # through the threaded sharded scheduler and once through the async
 # front-end (same requests, same engine work).
@@ -131,7 +156,15 @@ def _spinbayes_engine() -> SpinBayesNetwork:
         n_levels=SPINBAYES_LEVELS, config=CimConfig(seed=0), seed=0)
 
 
-def _gate_engine(name, make_engine, x, n_samples, min_speedup):
+def _cim_conv_engine() -> BayesianCim:
+    model = make_spatial_spindrop_cnn(
+        1, CIM_CONV_SIZE, N_CLASSES, p=DROPOUT_P,
+        widths=CIM_CONV_WIDTHS, seed=0)
+    return BayesianCim(model, CimConfig(seed=0), seed=0)
+
+
+def _gate_engine(name, make_engine, x, n_samples, min_speedup,
+                 check_plan_rebuilds=False):
     """Equivalence check + timed gate for one engine; returns a record."""
     check_seq = make_engine()
     check_bat = make_engine()
@@ -149,22 +182,36 @@ def _gate_engine(name, make_engine, x, n_samples, min_speedup):
     engine = make_engine()
     engine.mc_forward(x[:2], n_samples=2, batched=False)
     engine.mc_forward_batched(x[:2], n_samples=2)
+    record = {
+        "batch": len(x),
+        "n_samples": n_samples,
+        "repeats": REPEATS,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+    }
+    if check_plan_rebuilds:
+        # Warm engines must serve every im2col/pooling geometry from
+        # the memoized plan cache: zero index-plan rebuilds from here.
+        builds_before = conv_plan_cache_stats()["builds"]
+        engine.mc_forward_batched(x, n_samples=n_samples)
+        rebuilds = conv_plan_cache_stats()["builds"] - builds_before
+        if rebuilds != 0:
+            print(f"FAIL: warm {name} engine rebuilt {rebuilds} "
+                  f"im2col index plans (expected 0)")
+            return None
+        record["plan_rebuilds_warm"] = rebuilds
     seq_s = _best_of(
         lambda: engine.mc_forward(x, n_samples=n_samples, batched=False),
         REPEATS)
     bat_s = _best_of(
         lambda: engine.mc_forward_batched(x, n_samples=n_samples),
         REPEATS)
-    return {
-        "batch": len(x),
-        "n_samples": n_samples,
-        "repeats": REPEATS,
+    record.update({
         "sequential_s": seq_s,
         "batched_s": bat_s,
         "speedup": seq_s / bat_s,
-        "min_speedup": min_speedup,
-        "bit_exact": True,
-    }
+    })
+    return record
 
 
 def _gate_segmentation(min_speedup):
@@ -354,18 +401,73 @@ def _gate_serving(min_ratio):
     }
 
 
+def _compare_with_baseline(record, baseline_path, tolerance):
+    """Trend gate: fail on a >tolerance regression of any entry that
+    exists in both the fresh record and the committed baseline.
+
+    New entries (a gate added by the same change) and removed ones are
+    skipped — the comparison protects banked speedups, it does not pin
+    the record's schema.  Returns the list of failure messages.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    floor = 1.0 - tolerance
+    base_engines = baseline.get("engines", {})
+    for name, entry in record["engines"].items():
+        base = base_engines.get(name)
+        if base is None or "speedup" not in base:
+            continue
+        ratio = entry["speedup"] / base["speedup"]
+        print(f"[compare] {name}: {entry['speedup']:.2f}x vs baseline "
+              f"{base['speedup']:.2f}x ({ratio:.2f} of banked)")
+        if ratio < floor:
+            failures.append(
+                f"{name} speedup regressed to {entry['speedup']:.2f}x "
+                f"from banked {base['speedup']:.2f}x "
+                f"(> {tolerance:.0%} regression)")
+    base_serving = baseline.get("serving", {})
+    if "throughput_ratio" in base_serving:
+        fresh = record["serving"]["throughput_ratio"]
+        banked = base_serving["throughput_ratio"]
+        ratio = fresh / banked
+        print(f"[compare] serving: {fresh:.2f}x vs baseline "
+              f"{banked:.2f}x ({ratio:.2f} of banked)")
+        if ratio < floor:
+            failures.append(
+                f"serving throughput ratio regressed to {fresh:.2f}x "
+                f"from banked {banked:.2f}x (> {tolerance:.0%} regression)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--min-speedup", type=float,
                         default=float(os.environ.get("BENCH_MIN_SPEEDUP", 3.0)),
                         help="fail if batched/sequential speedup is below "
                              "this (default 3.0, env BENCH_MIN_SPEEDUP)")
+    parser.add_argument("--cim-conv-min-speedup", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_CIM_CONV_MIN_SPEEDUP", 2.0)),
+                        help="gate for the deployed conv chain, whose "
+                             "sequential baseline shares the fast kernels "
+                             "(default 2.0, env BENCH_CIM_CONV_MIN_SPEEDUP)")
     parser.add_argument("--serving-min-ratio", type=float,
                         default=float(os.environ.get(
                             "BENCH_SERVING_MIN_RATIO", 0.9)),
                         help="fail if async serving throughput falls below "
                              "this fraction of the threaded baseline "
                              "(default 0.9, env BENCH_SERVING_MIN_RATIO)")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="also diff the fresh run against this committed "
+                             "benchmark record and fail on any "
+                             "speedup-ratio regression beyond "
+                             "--compare-tolerance")
+    parser.add_argument("--compare-tolerance", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_COMPARE_TOLERANCE", 0.20)),
+                        help="maximum tolerated fractional regression vs "
+                             "the --compare baseline (default 0.20)")
     parser.add_argument("--out", default="BENCH_mc_forward.json",
                         help="where to write the benchmark record")
     parser.add_argument("--samples", type=int, default=N_SAMPLES)
@@ -375,6 +477,8 @@ def main() -> int:
     rng = np.random.default_rng(1)
     x = rng.standard_normal((args.batch, IN_FEATURES))
     x_spin = rng.standard_normal((SPINBAYES_BATCH, IN_FEATURES))
+    x_conv = rng.standard_normal((CIM_CONV_BATCH, 1,
+                                  CIM_CONV_SIZE, CIM_CONV_SIZE))
 
     # Correctness guard before timing: seeded batched output must match
     # the sequential loop bit-for-bit, with identical ledger totals.
@@ -389,36 +493,50 @@ def main() -> int:
     segmentation = _gate_segmentation(args.min_speedup)
     if segmentation is None:
         return 1
+    cim_conv = _gate_engine("cim_conv", _cim_conv_engine, x_conv,
+                            CIM_CONV_SAMPLES, args.cim_conv_min_speedup,
+                            check_plan_rebuilds=True)
+    if cim_conv is None:
+        return 1
     spindrop["model"] = (f"spindrop_mlp {IN_FEATURES}-"
                          f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}")
     spinbayes["model"] = (f"spinbayes {IN_FEATURES}-"
                           f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES} "
                           f"N={SPINBAYES_COMPONENTS} "
                           f"levels={SPINBAYES_LEVELS}")
+    cim_conv["model"] = (f"spatial_spindrop_cnn deployed "
+                         f"{CIM_CONV_SIZE}x{CIM_CONV_SIZE} widths="
+                         f"{'-'.join(map(str, CIM_CONV_WIDTHS))}")
 
     serving = _gate_serving(args.serving_min_ratio)
 
     # Top-level keys keep the PR-1 layout (the SpinDrop engine);
-    # per-engine sections carry all three gates, and the serving
+    # per-engine sections carry all four gates, and the serving
     # section the front-end comparison.
     record = dict(spindrop)
     record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes,
-                         "segmentation": segmentation}
+                         "segmentation": segmentation, "cim_conv": cim_conv}
     record["serving"] = serving
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    compare_failures = []
+    if args.compare:
+        compare_failures = _compare_with_baseline(
+            record, args.compare, args.compare_tolerance)
+
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
 
     failed = False
     for name, entry in record["engines"].items():
+        gate = entry["min_speedup"]
         print(f"[{name}] sequential: {entry['sequential_s'] * 1e3:8.2f} ms")
         print(f"[{name}] batched:    {entry['batched_s'] * 1e3:8.2f} ms")
         print(f"[{name}] speedup:    {entry['speedup']:8.2f}x  "
-              f"(gate: >= {args.min_speedup}x)")
-        if entry["speedup"] < args.min_speedup:
-            print(f"FAIL: {name} batched engine below the "
-                  f"{args.min_speedup}x gate")
+              f"(gate: >= {gate}x)")
+        if entry["speedup"] < gate:
+            print(f"FAIL: {name} batched engine below the {gate}x gate")
             failed = True
     print(f"[serving] threaded:   {serving['threaded_rows_per_s']:8.0f} "
           f"rows/s ({SERVING_REPLICAS} replicas)")
@@ -429,6 +547,9 @@ def main() -> int:
     if serving["throughput_ratio"] < args.serving_min_ratio:
         print(f"FAIL: async serving throughput below "
               f"{args.serving_min_ratio}x of the threaded baseline")
+        failed = True
+    for message in compare_failures:
+        print(f"FAIL: {message}")
         failed = True
     print(f"record written to {args.out}")
     if failed:

@@ -20,6 +20,7 @@ setup(
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "cov": ["pytest-cov"],
         "lint": ["ruff"],
     },
     entry_points={

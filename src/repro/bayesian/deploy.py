@@ -25,6 +25,15 @@ Two execution strategies produce those T passes:
   through the analog chain as stacked ndarray ops.  Ledger totals are
   identical by construction, and with no cycle-to-cycle read noise the
   outputs are bit-for-bit identical to the sequential path.
+
+Underneath, the analog chain runs on the shared kernel substrate of
+:mod:`repro.tensor.functional`: :class:`~repro.cim.layers.CimConv2d`
+gathers its im2col patches through the memoized conv-plan cache into
+per-thread scratch arenas (zero index-plan rebuilds and near-zero
+fresh allocation once warm) and, on an ideal chain, takes the
+exact-integer float32 crossbar route — so both strategies share the
+same fast kernels and stay bit-for-bit comparable.  The ``cim_conv``
+entry of ``scripts/bench_ci.py`` gates all of that in CI.
 """
 
 from __future__ import annotations

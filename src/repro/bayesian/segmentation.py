@@ -252,6 +252,10 @@ def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
         return None
     if not isinstance(conv, BinaryConv2d) or conv.binarize_input:
         return None
+    if conv.groups != 1:
+        # The per-channel partial decomposition assumes every output
+        # channel sees every input channel; grouped kernels don't.
+        return None
     if drop not in modules:
         return None
     if not _is_exact_ternary(base):
@@ -262,7 +266,8 @@ def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
     h, w = h0 + 2 * pad, w0 + 2 * pad
     padded = np.zeros((n, c, h, w), dtype=np.float32)
     padded[:, :, pad:h - pad, pad:w - pad] = base
-    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, conv.stride)
+    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, conv.stride,
+                                                   conv.dilation)
     patches = padded[:, :, rows, cols_idx]            # (N, C, KH·KW, L)
     w_bin = np.where(conv.weight.data >= 0, np.float32(1), np.float32(-1))
     w_per_c = np.ascontiguousarray(                   # (C, O, KH·KW)

@@ -61,7 +61,8 @@ def _deploy_binary_conv(layer: nn.BinaryConv2d, config: CimConfig,
     scale = None if layer.scale is None else layer.scale.data
     bias = None if layer.bias is None else layer.bias.data
     return CimConv2d(weights, scale, bias, layer.stride, layer.padding,
-                     config, ledger)
+                     config, ledger,
+                     dilation=layer.dilation, groups=layer.groups)
 
 
 def compile_to_cim(model: nn.Sequential,

@@ -89,6 +89,20 @@ class XnorCrossbar:
         self._weights: Optional[np.ndarray] = None
         self._g_direct: Optional[np.ndarray] = None
         self._g_complement: Optional[np.ndarray] = None
+        self._w_signed_t: Optional[np.ndarray] = None
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the analog chain is deterministic and lossless.
+
+        No conductance variability (which also rules out read noise)
+        and no IR drop means the decoded MAC equals the exact integer
+        XNOR popcount up to float64 rounding noise (~1e-13) — the
+        precondition for the exact-integer fast route in the CIM conv
+        layers.  Programming defects are fine: they change *which* ±1
+        matrix is stored, not the exactness of its readout.
+        """
+        return self.variability is None and self.wire_resistance <= 0.0
 
     # ------------------------------------------------------------------
     def program(self, weights: np.ndarray) -> None:
@@ -113,6 +127,7 @@ class XnorCrossbar:
             g_complement = self.variability.perturb_conductances(g_complement)
         self._g_direct = g_direct
         self._g_complement = g_complement
+        self._w_signed_t = None          # re-derived on next fast-route use
         # Two MTJ writes per logical weight (direct + complement cell).
         self.ledger.add("mtj_write", 2 * weights.size)
 
@@ -121,6 +136,29 @@ class XnorCrossbar:
         if self._weights is None:
             raise RuntimeError("crossbar not programmed")
         return self._weights
+
+    def signed_weights_t(self) -> np.ndarray:
+        """Cached float32 (n_cols, n_rows) ±1 operand of the stored
+        weights — what an ideal readout decodes to, transposed for the
+        column-major GEMMs of the exact-integer conv route.  Derived
+        from the *post-defect* stored matrix, so stuck cells are
+        reflected exactly."""
+        if self._w_signed_t is None:
+            w = np.where(self.programmed_weights > 0,
+                         np.float32(1.0), np.float32(-1.0))
+            self._w_signed_t = np.ascontiguousarray(w.T)
+        return self._w_signed_t
+
+    def book_mvm(self, total_active: int) -> None:
+        """Book one batched MVM's ledger entries.
+
+        ``total_active`` is the number of asserted wordline pairs
+        summed over the batch — exactly what :meth:`matvec` books, so
+        fast routes that bypass the analog simulation keep ledger
+        totals identical.
+        """
+        self.ledger.add("crossbar_cell_access", total_active * self.n_cols)
+        self.ledger.add("dac_drive", total_active)
 
     # ------------------------------------------------------------------
     def _ir_drop_factor(self, n_active: np.ndarray) -> np.ndarray:
@@ -185,18 +223,32 @@ class XnorCrossbar:
                     f"got {np.shape(row_mask)} for inputs {inputs.shape}")
             gate = (gate > 0).astype(np.float64)
 
-        v = self.params.read_voltage
         pos = (inputs > 0).astype(np.float64) * gate     # rows driven "true"
         neg = (inputs < 0).astype(np.float64) * gate     # rows driven "false"
         n_active = (pos + neg).sum(axis=1, keepdims=True)  # per sample
+        return merge_leading_axes(lead, self.mvm_prepared(pos, neg, n_active))
 
+    def _analog_mac(self, pos: np.ndarray, neg: np.ndarray,
+                    n_active: np.ndarray, transposed: bool) -> np.ndarray:
+        """The analog physics shared by every MVM entry point.
+
+        Read noise, current summation, IR-drop attenuation, decode and
+        ledger bookings live only here so the row-major and
+        column-major routes can never drift apart.  ``n_active`` must
+        broadcast against the current matrix ((B, 1) row-major,
+        (1, B) column-major).
+        """
+        v = self.params.read_voltage
         g_direct = self._g_direct
         g_complement = self._g_complement
         if self.variability is not None:
             g_direct = self.variability.read_noise(g_direct)
             g_complement = self.variability.read_noise(g_complement)
 
-        current = v * (pos @ g_direct + neg @ g_complement)   # (N, n_cols)
+        if transposed:
+            current = v * (g_direct.T @ pos + g_complement.T @ neg)
+        else:
+            current = v * (pos @ g_direct + neg @ g_complement)
         current = current * self._ir_drop_factor(n_active)
 
         # Decode matches from analog current using nominal conductances:
@@ -204,11 +256,35 @@ class XnorCrossbar:
         g_p, g_ap = self.params.g_p, self.params.g_ap
         matches = (current / v - n_active * g_ap) / (g_p - g_ap)
         mac = 2.0 * matches - n_active
+        self.book_mvm(int(n_active.sum()))
+        return mac
 
-        total_active = int(n_active.sum())
-        self.ledger.add("crossbar_cell_access", total_active * self.n_cols)
-        self.ledger.add("dac_drive", total_active)
-        return merge_leading_axes(lead, mac)
+    def mvm_prepared(self, pos: np.ndarray, neg: np.ndarray,
+                     n_active: np.ndarray) -> np.ndarray:
+        """Analog MVM on pre-computed drive masks: (B, n_rows) → (B, n_cols).
+
+        ``pos``/``neg`` are the already-gated {0, 1} wordline drive
+        masks and ``n_active`` their per-sample row count ``(B, 1)``.
+        Layers that tile one logical matrix across several column
+        chunks share one (pos, neg) preparation across every crossbar
+        of a row chunk instead of re-deriving it per call — the same
+        current/decode math and ledger bookings as :meth:`matvec`.
+        """
+        return self._analog_mac(pos, neg, n_active, transposed=False)
+
+    def mvm_cols(self, pos_t: np.ndarray, neg_t: np.ndarray,
+                 n_active: np.ndarray) -> np.ndarray:
+        """Column-major analog MVM: (n_rows, B) drives → (n_cols, B) MAC.
+
+        The transposed twin of :meth:`mvm_prepared` for the CIM conv
+        layers, whose patch buffers are channel-first ``(rows, L·N)``
+        slabs gathered straight from the plan cache — consuming them
+        without a transpose copy keeps the warm path allocation-free.
+        ``n_active`` has shape ``(B,)``; physics, decode and ledger
+        bookings are identical.
+        """
+        return self._analog_mac(pos_t, neg_t, n_active[None, :],
+                                transposed=True)
 
 
 class AnalogCrossbar:

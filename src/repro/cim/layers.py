@@ -29,7 +29,10 @@ from repro.cim.mapping import ConvShape, MappingPlan, MappingStrategy, plan_conv
 from repro.devices.defects import DefectModel
 from repro.devices.mtj import MTJParams
 from repro.devices.variability import DeviceVariability
-from repro.tensor.functional import im2col
+from repro.tensor.functional import (
+    _conv_scratch_buffers,
+    _gather_padded_patches,
+)
 
 
 class CimConfig:
@@ -128,13 +131,23 @@ class CimLinear(CimLayer):
         bits = np.sign(x)     # binarize; exact zeros stay gated (dropout)
         out = np.zeros((x.shape[0], self.out_features))
         for i, (r0, r1) in enumerate(self.row_chunks):
-            mask = None
+            # Drive masks are shared by every column tile of the row
+            # chunk — prepared once instead of per crossbar.
+            chunk = bits[:, r0:r1]
             if self.input_mask is not None:
-                mask = np.asarray(self.input_mask, dtype=np.float64)[r0:r1]
+                gate = (np.asarray(self.input_mask,
+                                   dtype=np.float64)[r0:r1] > 0
+                        ).astype(np.float64)
+                pos = (chunk > 0).astype(np.float64) * gate
+                neg = (chunk < 0).astype(np.float64) * gate
+            else:
+                pos = (chunk > 0).astype(np.float64)
+                neg = (chunk < 0).astype(np.float64)
+            n_active = (pos + neg).sum(axis=1, keepdims=True)
             partial = np.zeros_like(out)
             for j, (c0, c1) in enumerate(self.col_chunks):
-                partial[:, c0:c1] = self.crossbars[i][j].matvec(
-                    bits[:, r0:r1], row_mask=mask)
+                partial[:, c0:c1] = self.crossbars[i][j].mvm_prepared(
+                    pos, neg, n_active)
             out += self.adcs[i].convert(partial)
         if self.scale is not None:
             out = out * (self.scale * self.scale_multiplier)
@@ -154,7 +167,25 @@ class CimConv2d(CimLayer):
     Uses im2col so the analog MAC is the same XNOR popcount as
     :class:`CimLinear`; the mapping plan controls row chunking (and
     therefore partial-sum count, ADC conversions, and where the
-    spatial-dropout modules sit).
+    spatial-dropout modules sit).  ``groups`` replicates the plan's
+    crossbar grid per independent channel group, ``dilation`` only
+    changes the im2col geometry feeding the wordlines.
+
+    The im2col gather runs through the shared conv-plan cache and the
+    per-thread scratch arenas of :mod:`repro.tensor.functional`, so a
+    warm engine (batched MC, serving flushes) performs zero index-plan
+    rebuilds and near-zero fresh allocation.  When the analog chain is
+    ideal (see :attr:`XnorCrossbar.is_ideal`) and every row chunk's
+    :class:`PopcountADC` has an odd integer step, the layer takes an
+    *exact-integer float32* route: the decoded MAC of an ideal XNOR
+    crossbar is a small integer (|MAC| <= rows << 2^24), float32
+    represents it exactly, and with an odd step the ADC's
+    ``rint(mac / step)`` can never land on a rounding tie — so the
+    route is bit-identical to the analog simulation, whose only
+    deviation from the integer is ~1e-13 of float64 decode noise.
+    (An even step *can* tie exactly at odd MACs, where that noise
+    would decide the rounding — such layers stay on the analog path.)
+    Set ``exact_route = False`` to force the analog path.
 
     ``channel_mask`` (settable per pass, shape (C_in,)) gates all
     wordline groups / sub-crossbars belonging to an input feature map —
@@ -165,90 +196,131 @@ class CimConv2d(CimLayer):
                  scale: Optional[np.ndarray],
                  bias: Optional[np.ndarray],
                  stride: int, padding: int,
-                 config: CimConfig, ledger: OpLedger):
+                 config: CimConfig, ledger: OpLedger,
+                 dilation: int = 1, groups: int = 1):
         super().__init__(ledger)
         weights = np.asarray(binary_weights, dtype=np.float64)
         if not np.all(np.isin(weights, (-1.0, 1.0))):
             raise ValueError("CimConv2d requires ±1 weights")
-        self.c_out, self.c_in, self.kh, self.kw = weights.shape
+        self.c_out, c_in_pg, self.kh, self.kw = weights.shape
         if self.kh != self.kw:
             raise ValueError("only square kernels supported")
+        if groups < 1 or dilation < 1:
+            raise ValueError("groups and dilation must be >= 1")
+        if self.c_out % groups:
+            raise ValueError(f"out_channels {self.c_out} not divisible "
+                             f"by groups {groups}")
+        self.c_in = c_in_pg * groups
         self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
         self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
         self.stride = stride
         self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
         self.config = config
         self.channel_mask: Optional[np.ndarray] = None
         self.scale_multiplier: float | np.ndarray = 1.0
 
         self.plan: MappingPlan = plan_conv_mapping(
-            ConvShape(self.c_in, self.c_out, self.kh),
+            ConvShape(self.c_in, self.c_out, self.kh, groups=groups),
             config.mapping_strategy,
             max_rows=config.max_rows, max_cols=config.max_cols)
 
-        w = weights.reshape(self.c_out, -1).T            # (K2*Cin, Cout)
+        # One crossbar grid per group; the flat lists interleave
+        # group-major so ``crossbars[g * n_row_chunks + i][j]`` is row
+        # chunk i, column chunk j of group g (groups == 1 keeps the
+        # historical [i][j] layout).
+        w_groups = weights.reshape(
+            groups, self.c_out // groups, -1)           # (G, Cout/g, K2*Cin/g)
         self.crossbars: List[List[XnorCrossbar]] = []
         self.adcs: List[ADC] = []
-        for (r0, r1) in self.plan.row_chunks:
-            row_bars = []
-            for (c0, c1) in self.plan.col_chunks:
-                bar = XnorCrossbar(
-                    r1 - r0, c1 - c0,
-                    mtj_params=config.mtj_params,
-                    variability=config.variability,
-                    defects=config.defects,
-                    wire_resistance=config.wire_resistance,
-                    rng=config.rng, ledger=ledger)
-                bar.program(w[r0:r1, c0:c1])
-                row_bars.append(bar)
-            self.crossbars.append(row_bars)
-            self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
-                                         ledger=ledger))
+        for g in range(groups):
+            w = w_groups[g].T                           # (K2*Cin/g, Cout/g)
+            for (r0, r1) in self.plan.row_chunks:
+                row_bars = []
+                for (c0, c1) in self.plan.col_chunks:
+                    bar = XnorCrossbar(
+                        r1 - r0, c1 - c0,
+                        mtj_params=config.mtj_params,
+                        variability=config.variability,
+                        defects=config.defects,
+                        wire_resistance=config.wire_resistance,
+                        rng=config.rng, ledger=ledger)
+                    bar.program(w[r0:r1, c0:c1])
+                    row_bars.append(bar)
+                self.crossbars.append(row_bars)
+                self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
+                                             ledger=ledger))
 
-    def _row_mask_for_chunk(self, r0: int, r1: int) -> Optional[np.ndarray]:
-        """Translate the channel mask into wordline gating for a chunk.
-
-        Row ``r`` of the unfolded K·K·C_in axis belongs to input
-        channel ``r // (K·K)`` (im2col orders channels outermost).
-        """
-        if self.channel_mask is None:
-            return None
-        k2 = self.kh * self.kw
-        channels = np.arange(r0, r1) // k2
-        return np.asarray(self.channel_mask, dtype=np.float64)[channels]
+        self.exact_route = True      # opt-out switch (tests, benches)
+        self._exact_ok = (
+            all(bar.is_ideal for row in self.crossbars for bar in row)
+            and all(adc.step % 2 == 1 for adc in self.adcs))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         lead, x = split_leading_axes(x, 3)   # (T, N, C, H, W) sample axis
         n = x.shape[0]
-        if self.padding:
-            x = np.pad(x, ((0, 0), (0, 0),
-                           (self.padding, self.padding),
-                           (self.padding, self.padding)))
-        cols, out_h, out_w = im2col(x, self.kh, self.kw, self.stride)
-        # cols: (N, K2*Cin, L) with channel-major rows -> flatten batch
-        # and spatial positions into MVM batch.
-        patches = np.sign(cols)   # zeros (dropped maps) stay gated
-        patches = patches.transpose(0, 2, 1).reshape(-1, cols.shape[1])
+        kh = self.kh
+        k2 = kh * kh
+        exact = self.exact_route and self._exact_ok
+        dtype = np.dtype(np.float32 if exact else np.float64)
 
-        out = np.zeros((patches.shape[0], self.c_out))
-        for i, (r0, r1) in enumerate(self.plan.row_chunks):
-            mask = self._row_mask_for_chunk(r0, r1)
-            partial = np.zeros_like(out)
-            for j, (c0, c1) in enumerate(self.plan.col_chunks):
-                partial[:, c0:c1] = self.crossbars[i][j].matvec(
-                    patches[:, r0:r1], row_mask=mask)
-            out += self.adcs[i].convert(partial)
+        # Binarize in float64 (a denormal that underflows to 0.0 in
+        # float32 must still drive its wordline) before the arena
+        # gather casts to the route dtype; zeros (dropped maps) stay
+        # gated.
+        gather_buf, out_h, out_w = _gather_padded_patches(
+            np.sign(x), kh, kh, self.stride, self.padding, self.dilation,
+            dtype, tag="cim_conv")
+        length = out_h * out_w
+        ln = length * n
+        if self.channel_mask is not None:
+            # A dropped input feature map's wordline group never fires:
+            # zero its whole patch slab once, instead of re-deriving a
+            # per-chunk row mask (im2col rows are channel-major).
+            keep = np.asarray(self.channel_mask, dtype=np.float64) > 0
+            if not keep.all():
+                gather_buf[~keep] = 0.0
+        patches = gather_buf.reshape(self.c_in * k2, ln)
 
-        out = out.reshape(n, out_h * out_w, self.c_out).transpose(0, 2, 1)
-        out = out.reshape(n, self.c_out, out_h, out_w)
+        out = np.zeros((self.c_out, ln))
+        n_rc = len(self.plan.row_chunks)
+        cog = self.c_out // self.groups
+        rows_pg = (self.c_in // self.groups) * k2
+        (partial,) = _conv_scratch_buffers(
+            ("cim_conv_partial", cog, ln, dtype.str),
+            lambda: (np.empty((cog, ln), dtype=dtype),))
+        for g in range(self.groups):
+            out_g = out[g * cog:(g + 1) * cog]
+            for i, (r0, r1) in enumerate(self.plan.row_chunks):
+                chunk = patches[g * rows_pg + r0:g * rows_pg + r1]
+                bars = self.crossbars[g * n_rc + i]
+                if exact:
+                    total_active = int(np.count_nonzero(chunk))
+                    for j, (c0, c1) in enumerate(self.plan.col_chunks):
+                        np.matmul(bars[j].signed_weights_t(), chunk,
+                                  out=partial[c0:c1])
+                        bars[j].book_mvm(total_active)
+                else:
+                    pos_t = (chunk > 0).astype(np.float64)
+                    neg_t = (chunk < 0).astype(np.float64)
+                    n_active = (pos_t + neg_t).sum(axis=0)
+                    for j, (c0, c1) in enumerate(self.plan.col_chunks):
+                        partial[c0:c1] = bars[j].mvm_cols(pos_t, neg_t,
+                                                          n_active)
+                out_g += self.adcs[g * n_rc + i].convert(partial)
+
+        out = out.reshape(self.c_out, length, n)
         if self.scale is not None:
             out = out * (self.scale * np.asarray(self.scale_multiplier)
-                         ).reshape(1, -1, 1, 1)
+                         ).reshape(-1, 1, 1)
             self.ledger.add("digital_mac", out.size)
         if self.bias is not None:
-            out = out + self.bias.reshape(1, -1, 1, 1)
+            out = out + self.bias.reshape(-1, 1, 1)
             self.ledger.add("digital_op", out.size)
+        out = np.ascontiguousarray(out.transpose(2, 0, 1)).reshape(
+            n, self.c_out, out_h, out_w)
         return merge_leading_axes(lead, out)
 
 
@@ -424,12 +496,21 @@ class DigitalMaxPool(CimLayer):
         self.kernel = kernel
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, c, h, w = x.shape
+        if x.ndim != 4:
+            raise ValueError("DigitalMaxPool expects (N, C, H, W)")
         k = self.kernel
-        h2, w2 = h // k, w // k
-        view = x[:, :, :h2 * k, :w2 * k].reshape(n, c, h2, k, w2, k)
+        h2, w2 = x.shape[2] // k, x.shape[3] // k
         self.ledger.add("digital_op", x.size)
-        return view.max(axis=(3, 5))
+        # Pairwise maximum over the k² strided window slices: an order
+        # of magnitude faster than a multi-axis reduce over the 6-D
+        # window view on pass-stacked batches, and exact either way
+        # (max is order-independent).
+        out: Optional[np.ndarray] = None
+        for u in range(k):
+            for v in range(k):
+                s = x[:, :, u:h2 * k:k, v:w2 * k:k]
+                out = s.copy() if out is None else np.maximum(out, s, out=out)
+        return out
 
 
 class DigitalFlatten(CimLayer):

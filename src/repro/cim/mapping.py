@@ -36,15 +36,29 @@ class MappingStrategy(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class ConvShape:
-    """Static shape of a convolutional layer."""
+    """Static shape of a convolutional layer.
+
+    ``groups`` splits the layer into that many independent
+    convolutions (channel counts are totals, not per-group): each
+    group's kernels see only ``in_channels / groups`` input maps, so
+    the crossbar grid of one group shrinks accordingly and is
+    replicated per group.
+    """
 
     in_channels: int
     out_channels: int
     kernel_size: int
+    groups: int = 1
+
+    def __post_init__(self):
+        if self.groups < 1:
+            raise ValueError("groups must be >= 1")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("channel counts must be divisible by groups")
 
     @property
     def weights_per_kernel(self) -> int:
-        return self.kernel_size ** 2 * self.in_channels
+        return self.kernel_size ** 2 * self.in_channels // self.groups
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +78,7 @@ class MappingPlan:
     row_chunks: Tuple[Tuple[int, int], ...]
     col_chunks: Tuple[Tuple[int, int], ...]
     dropout_modules: int
+    groups: int = 1
 
     @property
     def cells_total(self) -> int:
@@ -75,7 +90,9 @@ class MappingPlan:
         for r0, r1 in self.row_chunks:
             for c0, c1 in self.col_chunks:
                 used += (r1 - r0) * (c1 - c0)
-        return used
+        # row/col chunks describe one group's grid; every group
+        # replicates it.
+        return used * self.groups
 
     @property
     def utilization(self) -> float:
@@ -104,13 +121,18 @@ def plan_conv_mapping(shape: ConvShape,
     matrices larger than that are tiled.
     """
     k2 = shape.kernel_size ** 2
-    total_rows = k2 * shape.in_channels
-    total_cols = shape.out_channels
+    # Chunk lists describe ONE group's crossbar grid (the whole layer
+    # for groups == 1); each group replicates the grid on its own
+    # crossbars, so n_crossbars scales with the group count.
+    in_pg = shape.in_channels // shape.groups
+    out_pg = shape.out_channels // shape.groups
+    total_rows = k2 * in_pg
+    total_cols = out_pg
 
     if strategy is MappingStrategy.UNFOLDED_COLUMN:
         row_chunks = _chunk(total_rows, max_rows)
         col_chunks = _chunk(total_cols, max_cols)
-        n_crossbars = len(row_chunks) * len(col_chunks)
+        n_crossbars = len(row_chunks) * len(col_chunks) * shape.groups
         # One dropout module gates the K·K wordline group of each input
         # channel (enabled via the multi-address WL decoder); module
         # count = input channels (feature maps), NOT neurons.
@@ -120,14 +142,14 @@ def plan_conv_mapping(shape: ConvShape,
             crossbar_rows=max_rows, crossbar_cols=max_cols,
             n_crossbars=n_crossbars,
             row_chunks=tuple(row_chunks), col_chunks=tuple(col_chunks),
-            dropout_modules=dropout_modules)
+            dropout_modules=dropout_modules, groups=shape.groups)
 
     if strategy is MappingStrategy.TILED_KXK:
         # One K×K crossbar per (c_in, c_out) pair; rows chunked per
         # input channel (each chunk is k2 rows of the unfolded axis).
         row_chunks = _chunk(total_rows, k2)
         col_chunks = _chunk(total_cols, 1)
-        n_crossbars = shape.in_channels * shape.out_channels
+        n_crossbars = in_pg * out_pg * shape.groups
         # Dropout gates a whole row of sub-crossbars (one input feature
         # map) via a crossbar-enable: one module per input channel.
         dropout_modules = shape.in_channels
@@ -136,7 +158,7 @@ def plan_conv_mapping(shape: ConvShape,
             crossbar_rows=shape.kernel_size, crossbar_cols=shape.kernel_size,
             n_crossbars=n_crossbars,
             row_chunks=tuple(row_chunks), col_chunks=tuple(col_chunks),
-            dropout_modules=dropout_modules)
+            dropout_modules=dropout_modules, groups=shape.groups)
 
     raise ValueError(f"unknown strategy {strategy!r}")
 

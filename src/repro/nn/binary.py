@@ -59,25 +59,38 @@ class BinaryLinear(Module):
 
 
 class BinaryConv2d(Module):
-    """Convolution with sign-binarized kernels and per-channel scale."""
+    """Convolution with sign-binarized kernels and per-channel scale.
+
+    Supports ``groups`` / ``dilation`` like :class:`repro.nn.Conv2d`;
+    the deployed :class:`repro.cim.CimConv2d` mirrors both (grouped
+    kernels map to independent crossbar grids, dilation only changes
+    the im2col plan feeding the wordlines).
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  scale: bool = True, binarize_input: bool = False,
+                 dilation: int = 1, groups: int = 1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         rng = rng or np.random.default_rng()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be "
+                             "divisible by groups")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
         self.binarize_input = binarize_input
-        fan_in = in_channels * kernel_size * kernel_size
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         bound = math.sqrt(6.0 / fan_in)
         self.weight = Parameter(rng.uniform(
             -bound, bound,
-            size=(out_channels, in_channels, kernel_size, kernel_size)))
+            size=(out_channels, in_channels // groups,
+                  kernel_size, kernel_size)))
         self.scale = Parameter(np.ones(out_channels)) if scale else None
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
 
@@ -90,7 +103,8 @@ class BinaryConv2d(Module):
         if self.binarize_input:
             x = F.sign_ste(x)
         out = F.conv2d(x, self.binary_weight(), bias=None,
-                       stride=self.stride, padding=self.padding)
+                       stride=self.stride, padding=self.padding,
+                       dilation=self.dilation, groups=self.groups)
         if self.scale is not None:
             out = out * F.reshape(self.scale, (1, -1, 1, 1))
         if self.bias is not None:
@@ -105,7 +119,8 @@ class BinaryConv2d(Module):
         if self.binarize_input:
             x = np.where(x >= 0, 1.0, -1.0)
         w = np.where(self.weight.data >= 0, 1.0, -1.0)
-        out = _conv2d_infer(x, w, None, self.stride, self.padding)
+        out = _conv2d_infer(x, w, None, self.stride, self.padding,
+                            self.dilation, self.groups)
         if self.scale is not None:
             out *= self.scale.data.reshape(1, -1, 1, 1)
         if self.bias is not None:

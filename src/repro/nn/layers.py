@@ -43,26 +43,34 @@ class Linear(Module):
 
 
 class Conv2d(Module):
-    """2-D convolution (NCHW)."""
+    """2-D convolution (NCHW) with optional ``groups`` / ``dilation``."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
+                 dilation: int = 1, groups: int = 1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         rng = rng or np.random.default_rng()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be "
+                             "divisible by groups")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        fan_in = in_channels * kernel_size * kernel_size
+        self.dilation = dilation
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         self.weight = Parameter(_kaiming_uniform(
-            fan_in, (out_channels, in_channels, kernel_size, kernel_size), rng))
+            fan_in, (out_channels, in_channels // groups,
+                     kernel_size, kernel_size), rng))
         self.bias = Parameter(np.zeros(out_channels)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias,
-                        stride=self.stride, padding=self.padding)
+                        stride=self.stride, padding=self.padding,
+                        dilation=self.dilation, groups=self.groups)
 
 
 class _BatchNormBase(Module):

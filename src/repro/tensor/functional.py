@@ -24,6 +24,22 @@ from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled, _unbroadcast
 
 Axis = Union[None, int, Tuple[int, ...]]
 
+__all__ = [
+    # elementwise / nonlinearities
+    "add", "sub", "mul", "div", "power", "exp", "log", "sqrt", "absolute",
+    "relu", "leaky_relu", "sigmoid", "tanh", "hardtanh", "sign_ste",
+    "where", "maximum", "clip",
+    # linear algebra / reductions / shape
+    "matmul", "sum", "mean", "var", "max_reduce",
+    "reshape", "transpose", "concat", "getitem", "pad2d",
+    # convolution / pooling and the shared kernel substrate
+    "conv2d", "max_pool2d", "avg_pool2d", "upsample2d",
+    "im2col", "col2im",
+    "conv_plan_cache_stats", "clear_conv_plan_cache",
+    # softmax family
+    "softmax", "log_softmax", "softmax_cross_entropy",
+]
+
 
 # ----------------------------------------------------------------------
 # Elementwise arithmetic
@@ -488,11 +504,18 @@ def clear_conv_plan_cache() -> None:
     _conv_plans.clear()
 
 
-def _build_im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    i0 = np.repeat(np.arange(kh), kw)
-    j0 = np.tile(np.arange(kw), kh)
+def _build_im2col_indices(h: int, w: int, kh: int, kw: int, stride: int,
+                          dilation: int = 1):
+    span_h = (kh - 1) * dilation + 1
+    span_w = (kw - 1) * dilation + 1
+    out_h = (h - span_h) // stride + 1
+    out_w = (w - span_w) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, dilation {dilation}) does not fit the "
+            f"{h}x{w} input")
+    i0 = np.repeat(dilation * np.arange(kh), kw)
+    j0 = np.tile(dilation * np.arange(kw), kh)
     i1 = stride * np.repeat(np.arange(out_h), out_w)
     j1 = stride * np.tile(np.arange(out_w), out_h)
     rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
@@ -504,22 +527,23 @@ def _build_im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
     return rows, cols, out_h, out_w
 
 
-def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int):
+def _im2col_indices(h: int, w: int, kh: int, kw: int, stride: int,
+                    dilation: int = 1):
     return _conv_plans.get(
-        (h, w, kh, kw, stride),
-        lambda: _build_im2col_indices(h, w, kh, kw, stride))
+        (h, w, kh, kw, stride, dilation),
+        lambda: _build_im2col_indices(h, w, kh, kw, stride, dilation))
 
 
 def _flat_gather_indices(h: int, w: int, kh: int, kw: int,
-                         stride: int) -> np.ndarray:
+                         stride: int, dilation: int = 1) -> np.ndarray:
     """Flattened (row·w + col) gather plan over an (…, h·w) view —
     the ``np.take`` form of the im2col plan, memoized alongside it."""
     def build():
-        rows, cols, _, _ = _im2col_indices(h, w, kh, kw, stride)
+        rows, cols, _, _ = _im2col_indices(h, w, kh, kw, stride, dilation)
         flat = np.ascontiguousarray((rows * w + cols).ravel())
         flat.setflags(write=False)
         return flat
-    return _conv_plans.get(("flat", h, w, kh, kw, stride), build)
+    return _conv_plans.get(("flat", h, w, kh, kw, stride, dilation), build)
 
 
 def _is_exact_ternary(x: np.ndarray) -> bool:
@@ -534,18 +558,20 @@ def _is_exact_ternary(x: np.ndarray) -> bool:
     return bool(((flat == 1.0) | (flat == -1.0) | (flat == 0.0)).all())
 
 
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int):
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, dilation: int = 1):
     """(N, C, H, W) -> (N, C*kh*kw, out_h*out_w) patch matrix."""
     n, c, h, w = x.shape
-    rows, cols, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
+    rows, cols, out_h, out_w = _im2col_indices(h, w, kh, kw, stride, dilation)
     patches = x[:, :, rows, cols]                     # (N, C, kh*kw, L)
     return patches.reshape(n, c * kh * kw, -1), out_h, out_w
 
 
-def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int):
+def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int,
+           dilation: int = 1):
     """Adjoint of :func:`im2col` (scatter-add patches back)."""
     n, c, h, w = x_shape
-    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
+    rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, stride,
+                                                   dilation)
     cols = cols.reshape(n, c, kh * kw, -1)
     x = np.zeros(x_shape, dtype=cols.dtype)
     np.add.at(x, (slice(None), slice(None), rows, cols_idx), cols)
@@ -577,9 +603,46 @@ def _conv_scratch_buffers(key: tuple, shapes):
     return bufs
 
 
+def _gather_padded_patches(x: np.ndarray, kh: int, kw: int, stride: int,
+                           padding: int, dilation: int, dtype: np.dtype,
+                           tag: str = "conv"):
+    """Arena-backed im2col gather straight into GEMM layout.
+
+    Writes the (N, C, H, W) image interior into a zero-bordered
+    channel-first scratch buffer (one pass, casting on the fly — the
+    implicit zero-pad), then gathers it with the memoized flat index
+    plan into a ``(C, KH·KW·L, N)`` patch slab.  Both buffers live in
+    the per-thread scratch arena; ``padding`` is part of their key
+    because the pad buffer relies on its border never being written,
+    which an unpadded call with the same (h, w) would violate.  The
+    border stays zero across reuses because only the interior is ever
+    written.  Returns ``(patch_slab, out_h, out_w)``; a flat
+    ``(C·KH·KW, L·N)`` view of the slab is a valid GEMM operand whose
+    unfolded row axis is channel-major.  Callers with distinct
+    consumption patterns pass their own ``tag`` so their slabs never
+    alias.
+    """
+    n, c, h0, w0 = x.shape
+    h, w = h0 + 2 * padding, w0 + 2 * padding
+    _, _, out_h, out_w = _im2col_indices(h, w, kh, kw, stride, dilation)
+    flat_idx = _flat_gather_indices(h, w, kh, kw, stride, dilation)
+    key = (tag, n, c, h, w, kh, kw, stride, padding, dilation, dtype.str)
+    xtl, patch_slab = _conv_scratch_buffers(
+        key, lambda: (
+            np.zeros((c, h, w, n), dtype=dtype),
+            np.empty((c, kh * kw * out_h * out_w, n), dtype=dtype),
+        ))
+    interior = (slice(None),
+                slice(padding, h - padding), slice(padding, w - padding))
+    np.copyto(xtl[interior], x.transpose(1, 2, 3, 0))
+    np.take(xtl.reshape(c, h * w, n), flat_idx, axis=1, out=patch_slab)
+    return patch_slab, out_h, out_w
+
+
 def _conv2d_infer(x: np.ndarray, weight: np.ndarray,
                   bias: Optional[np.ndarray], stride: int,
-                  padding: int) -> np.ndarray:
+                  padding: int, dilation: int = 1,
+                  groups: int = 1) -> np.ndarray:
     """Inference conv kernel: gather straight into GEMM layout.
 
     Bit-identical to the im2col/einsum training path on binary data
@@ -607,7 +670,7 @@ def _conv2d_infer(x: np.ndarray, weight: np.ndarray,
       arithmetic is what makes the crossbar readout (and this
       shortcut) lossless.
     """
-    c_out, c_in, kh, kw = weight.shape
+    c_out, c_in_pg, kh, kw = weight.shape
     # Exact-integer route: products are ±x and |sum| <= C·KH·KW, far
     # inside float32's 2^24 exact-integer range.
     w_flat = weight.reshape(-1)
@@ -617,32 +680,25 @@ def _conv2d_infer(x: np.ndarray, weight: np.ndarray,
         and _is_exact_ternary(x))
     dtype = np.dtype(np.float32 if exact_binary else x.dtype)
     n, c, h0, w0 = x.shape
-    h, w = h0 + 2 * padding, w0 + 2 * padding
-    _, _, out_h, out_w = _im2col_indices(h, w, kh, kw, stride)
-    flat_idx = _flat_gather_indices(h, w, kh, kw, stride)
-    f, ln = c_in * kh * kw, out_h * out_w * n
-
-    # ``padding`` is part of the key: a zero-pad buffer relies on its
-    # border never being written, which an unpadded call with the same
-    # (h, w) would violate.
-    key = (n, c, h, w, kh, kw, stride, padding, dtype.str)
-    xtl, gather_buf, out_buf = _conv_scratch_buffers(
-        key, lambda: (
-            np.zeros((c, h, w, n), dtype=dtype),
-            np.empty((c, kh * kw * out_h * out_w, n), dtype=dtype),
-            np.empty((c_out, ln), dtype=dtype),
-        ))
-    if out_buf.shape[0] != c_out:
-        out_buf = np.empty((c_out, ln), dtype=dtype)
-    # Write the image interior into the zero-bordered channel-first
-    # scratch (one pass, casting on the fly); the border stays zero
-    # across reuses because only the interior is ever written.
-    interior = (slice(None),
-                slice(padding, h - padding), slice(padding, w - padding))
-    np.copyto(xtl[interior], x.transpose(1, 2, 3, 0))
-    np.take(xtl.reshape(c, h * w, n), flat_idx, axis=1, out=gather_buf)
-    np.matmul(weight.reshape(c_out, -1).astype(dtype),
-              gather_buf.reshape(f, ln), out=out_buf)
+    if c != c_in_pg * groups:
+        raise ValueError(
+            f"input has {c} channels, weight expects {c_in_pg * groups} "
+            f"({c_in_pg} per group x {groups} groups)")
+    gather_buf, out_h, out_w = _gather_padded_patches(
+        x, kh, kw, stride, padding, dilation, dtype)
+    f_g, ln = c_in_pg * kh * kw, out_h * out_w * n
+    (out_buf,) = _conv_scratch_buffers(
+        ("conv_out", c_out, ln, dtype.str),
+        lambda: (np.empty((c_out, ln), dtype=dtype),))
+    if groups == 1:
+        np.matmul(weight.reshape(c_out, -1).astype(dtype),
+                  gather_buf.reshape(f_g, ln), out=out_buf)
+    else:
+        # Block-diagonal GEMM: the gather buffer's unfolded row axis is
+        # channel-major, so each group's rows are one contiguous slab.
+        np.matmul(weight.reshape(groups, c_out // groups, f_g).astype(dtype),
+                  gather_buf.reshape(groups, f_g, ln),
+                  out=out_buf.reshape(groups, c_out // groups, ln))
     out = np.ascontiguousarray(
         out_buf.reshape(c_out, out_h * out_w, n).transpose(2, 0, 1),
         dtype=np.float64).reshape(n, c_out, out_h, out_w)
@@ -651,34 +707,57 @@ def _conv2d_infer(x: np.ndarray, weight: np.ndarray,
     return out
 
 
-def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0,
+           dilation: int = 1, groups: int = 1) -> Tensor:
     """2-D convolution in NCHW layout.
 
-    ``weight`` has shape (C_out, C_in, KH, KW).  Implemented as
-    im2col + matmul, which is also exactly how the CIM crossbar mapping
-    strategy ① of Fig. 1 unrolls kernels into crossbar columns — the
-    deployed :class:`repro.cim.CimConv2d` reuses the same im2col.
-    Inference (``no_grad``) takes a faster single-GEMM kernel with the
-    same bit-level results — see :func:`_conv2d_infer`.
+    ``weight`` has shape (C_out, C_in/groups, KH, KW); ``groups``
+    splits input and output channels into that many independent
+    convolutions (depthwise when ``groups == C_in``), and ``dilation``
+    spreads the kernel taps ``dilation`` pixels apart (à-trous
+    convolution).  Implemented as im2col + matmul, which is also
+    exactly how the CIM crossbar mapping strategy ① of Fig. 1 unrolls
+    kernels into crossbar columns — the deployed
+    :class:`repro.cim.CimConv2d` reuses the same im2col (and the same
+    memoized index plans).  Inference (``no_grad``) takes a faster
+    single-GEMM kernel with the same bit-level results — see
+    :func:`_conv2d_infer`.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
+    c_out, c_in_pg, kh, kw = weight.data.shape
+    if groups < 1 or dilation < 1:
+        raise ValueError("groups and dilation must be >= 1")
+    if c_out % groups:
+        raise ValueError(f"out_channels {c_out} not divisible by "
+                         f"groups {groups}")
+    if x.data.shape[1] != c_in_pg * groups:
+        raise ValueError(
+            f"input has {x.data.shape[1]} channels, weight expects "
+            f"{c_in_pg * groups} ({c_in_pg} per group x {groups} groups)")
     if not (is_grad_enabled()
             and (x.requires_grad or weight.requires_grad
                  or (bias is not None and as_tensor(bias).requires_grad))):
         bias_data = None if bias is None else as_tensor(bias).data
         return Tensor(_conv2d_infer(x.data, weight.data, bias_data,
-                                    stride, padding))
+                                    stride, padding, dilation, groups))
     if padding:
         x_padded = pad2d(x, padding)
     else:
         x_padded = x
 
     n = x_padded.data.shape[0]
-    c_out, c_in, kh, kw = weight.data.shape
-    cols, out_h, out_w = im2col(x_padded.data, kh, kw, stride)
-    w_mat = weight.data.reshape(c_out, -1)            # (C_out, C_in*kh*kw)
-    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    cols, out_h, out_w = im2col(x_padded.data, kh, kw, stride, dilation)
+    c_out_pg, f_g = c_out // groups, c_in_pg * kh * kw
+    if groups == 1:
+        w_mat = weight.data.reshape(c_out, -1)        # (C_out, C_in*kh*kw)
+        out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    else:
+        # Channel-major unfolded rows: each group's patch rows are one
+        # contiguous slab of the im2col matrix.
+        w_mat = weight.data.reshape(groups, c_out_pg, f_g)
+        cols_g = cols.reshape(n, groups, f_g, -1)
+        out = np.einsum("gof,ngfl->ngol", w_mat, cols_g, optimize=True)
     out = out.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         bias = as_tensor(bias)
@@ -688,14 +767,25 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         grad_mat = grad.reshape(n, c_out, -1)         # (N, C_out, L)
+        if groups > 1:
+            grad_mat = grad_mat.reshape(n, groups, c_out_pg, -1)
         if weight.requires_grad:
-            gw = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+            if groups == 1:
+                gw = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+            else:
+                gw = np.einsum("ngol,ngfl->gof", grad_mat, cols_g,
+                               optimize=True)
             weight.accumulate_grad(gw.reshape(weight.data.shape))
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
         if x_padded.requires_grad:
-            gcols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
-            gx = col2im(gcols, x_padded.data.shape, kh, kw, stride)
+            if groups == 1:
+                gcols = np.einsum("of,nol->nfl", w_mat, grad_mat,
+                                  optimize=True)
+            else:
+                gcols = np.einsum("gof,ngol->ngfl", w_mat, grad_mat,
+                                  optimize=True).reshape(n, groups * f_g, -1)
+            gx = col2im(gcols, x_padded.data.shape, kh, kw, stride, dilation)
             x_padded.accumulate_grad(gx)
 
     return Tensor.from_op(out, parents, backward)
