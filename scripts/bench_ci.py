@@ -79,6 +79,11 @@ except ImportError:  # source checkout without install
     from repro.tensor.functional import conv_plan_cache_stats
 
 # sys.path is fixed up by the block above for source checkouts.
+from repro.experiments.report import markdown_table  # noqa: E402
+from repro.experiments.trend import (  # noqa: E402
+    bench_summary_rows,
+    compare_bench_record,
+)
 from repro.serving import (  # noqa: E402
     AsyncBatchScheduler,
     Autoscaler,
@@ -402,41 +407,26 @@ def _gate_serving(min_ratio):
 
 
 def _compare_with_baseline(record, baseline_path, tolerance):
-    """Trend gate: fail on a >tolerance regression of any entry that
-    exists in both the fresh record and the committed baseline.
+    """Trend gate against a committed baseline record.
 
-    New entries (a gate added by the same change) and removed ones are
-    skipped — the comparison protects banked speedups, it does not pin
-    the record's schema.  Returns the list of failure messages.
+    The compare/tolerance logic lives in the shared
+    :mod:`repro.experiments.trend` module (the quality gate reuses
+    it); this wrapper only loads the baseline file and, on CI,
+    publishes the banked-vs-fresh table to the job summary.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    failures = []
-    floor = 1.0 - tolerance
-    base_engines = baseline.get("engines", {})
-    for name, entry in record["engines"].items():
-        base = base_engines.get(name)
-        if base is None or "speedup" not in base:
-            continue
-        ratio = entry["speedup"] / base["speedup"]
-        print(f"[compare] {name}: {entry['speedup']:.2f}x vs baseline "
-              f"{base['speedup']:.2f}x ({ratio:.2f} of banked)")
-        if ratio < floor:
-            failures.append(
-                f"{name} speedup regressed to {entry['speedup']:.2f}x "
-                f"from banked {base['speedup']:.2f}x "
-                f"(> {tolerance:.0%} regression)")
-    base_serving = baseline.get("serving", {})
-    if "throughput_ratio" in base_serving:
-        fresh = record["serving"]["throughput_ratio"]
-        banked = base_serving["throughput_ratio"]
-        ratio = fresh / banked
-        print(f"[compare] serving: {fresh:.2f}x vs baseline "
-              f"{banked:.2f}x ({ratio:.2f} of banked)")
-        if ratio < floor:
-            failures.append(
-                f"serving throughput ratio regressed to {fresh:.2f}x "
-                f"from banked {banked:.2f}x (> {tolerance:.0%} regression)")
+    failures = compare_bench_record(record, baseline, tolerance)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        table = markdown_table(
+            ["engine", "banked", "fresh", "ratio of banked"],
+            bench_summary_rows(record, baseline))
+        verdict = ("❌ speed trend gate FAILED" if failures
+                   else "✅ speed trend gate passed")
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(f"### Speed bench vs banked {baseline_path}\n\n"
+                     f"{table}\n{verdict}\n")
     return failures
 
 

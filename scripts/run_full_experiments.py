@@ -1,7 +1,7 @@
 """Run every experiment at full (non-fast) settings and print a report.
 
-Thin wrapper around :mod:`repro.experiments.cli` (the installable
-``repro-experiments`` console command), kept so the historical
+Thin wrapper around ``repro-experiments full`` (the installable
+console command), kept so the historical
 
     python scripts/run_full_experiments.py | tee results_full.txt
 
@@ -19,4 +19,4 @@ if __name__ == "__main__":
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
             "src"))
         from repro.experiments.cli import main
-    main()
+    sys.exit(main(["full"]))

@@ -4,8 +4,50 @@ One module per paper artifact: ``table1`` (Table I), ``figures``
 (Figs. 1–3), ``claims`` (the per-method text claims C1–C6),
 ``ablations`` (design-choice ablations A1).  The mapping from paper
 artifact to module is indexed in DESIGN.md §3.
+
+On top of the artifact harnesses sits the scenario-sweep subsystem
+(``docs/experiments.md``): ``sweeps`` expands a declarative
+model-family × corruption × defect × variability × OOD matrix into
+seeded runs through the batched engines, ``results_store`` persists
+per-run metrics, ``report`` renders them, and ``trend`` holds the
+shared CI trend-gate logic (speed via ``scripts/bench_ci.py``,
+accuracy/calibration via the ``quality-gate`` job).
 """
 
-from repro.experiments import ablations, claims, common, extended, figures, table1
+from repro.experiments import (
+    ablations,
+    claims,
+    common,
+    extended,
+    figures,
+    report,
+    results_store,
+    sweeps,
+    table1,
+    trend,
+)
+from repro.experiments.report import (
+    format_metrics_markdown,
+    format_metrics_report,
+)
+from repro.experiments.results_store import ResultsStore, RunSummary, load_results
+from repro.experiments.sweeps import (
+    MATRICES,
+    PRESETS,
+    MatrixBlock,
+    MatrixSpec,
+    Scenario,
+    SweepPreset,
+    expand_matrix,
+    run_scenario,
+    run_sweep,
+)
 
-__all__ = ["common", "table1", "figures", "claims", "ablations", "extended"]
+__all__ = [
+    "common", "table1", "figures", "claims", "ablations", "extended",
+    "sweeps", "results_store", "report", "trend",
+    "Scenario", "MatrixBlock", "MatrixSpec", "SweepPreset",
+    "MATRICES", "PRESETS", "expand_matrix", "run_scenario", "run_sweep",
+    "ResultsStore", "RunSummary", "load_results",
+    "format_metrics_report", "format_metrics_markdown",
+]

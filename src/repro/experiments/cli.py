@@ -1,200 +1,201 @@
-"""Run every experiment at full (non-fast) settings and print a report.
+"""The ``repro-experiments`` console command.
 
-This regenerates all numbers recorded in EXPERIMENTS.md.  Installed as
-the ``repro-experiments`` console command; also runnable as
-``python scripts/run_full_experiments.py | tee results_full.txt``.
+Subcommands::
 
-Takes ~10–20 minutes on a laptop CPU (everything trains from scratch).
+    repro-experiments sweep --matrix smoke --store results_store
+        Expand a scenario matrix, run it through the batched engines,
+        persist per-run metrics to a results store, print the report.
+        ``--bank FILE`` additionally writes the banked-baseline JSON
+        (``BENCH_scenarios.json``) the CI quality gate compares
+        against.
+
+    repro-experiments report --store results_store
+        Render the metrics report from an existing results store.
+
+    repro-experiments compare --matrix smoke --baseline BENCH_scenarios.json
+        The CI quality gate: run the matrix fresh, diff every banked
+        scenario's accuracy/NLL/ECE/OOD-AUROC/energy against the
+        baseline, exit 1 on any regression beyond tolerance.
+
+    repro-experiments full
+        The legacy full experiment suite behind EXPERIMENTS.md
+        (~10–20 min; also ``python scripts/run_full_experiments.py``).
+
+Unknown subcommands (and a missing subcommand) print usage and exit
+with status 2.  When ``GITHUB_STEP_SUMMARY`` is set, ``sweep``,
+``report`` and ``compare`` append a Markdown metrics table to the job
+summary.
 """
 
-import time
+from __future__ import annotations
 
-from repro.energy import format_energy, render_table
-from repro.experiments.ablations import (
-    defect_robustness,
-    rng_scaling,
-    scalar_vs_vector_masks,
-    ste_clip_ablation,
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import (
+    format_metrics_markdown,
+    format_metrics_report,
+    markdown_table,
+    summaries_from_metrics,
 )
-from repro.experiments.claims import (
-    run_c1_spindrop,
-    run_c2_spatial,
-    run_c3_scaledrop,
-    run_c4_affine,
-    run_c5_subset_vi,
-    run_c6_spinbayes,
+from repro.experiments.results_store import ResultsStore
+from repro.experiments.sweeps import MATRICES, run_sweep
+from repro.experiments.trend import (
+    QUALITY_METRICS,
+    compare_quality,
+    quality_summary_rows,
+    resolve_specs,
 )
-from repro.experiments.figures import (
-    arbiter_statistics,
-    mapping_equivalence_check,
-    run_fig1_mapping,
-    run_fig2_breakdown,
-    run_fig3_spinbayes,
-)
-from repro.experiments.table1 import render_table1, run_table1
 
 
-def banner(title: str) -> None:
-    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+def _github_summary(markdown: str) -> None:
+    """Append Markdown to the GitHub Actions job summary (if any)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if path:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
 
 
-def main() -> None:
-    t0 = time.time()
+def _write_bank(path: str, matrix: str, scenarios: dict) -> None:
+    """Write the banked-baseline document for the quality gate."""
+    document = {
+        "matrix": matrix,
+        "preset": MATRICES[matrix].preset,
+        "tolerances": {spec.name: spec.tolerance
+                       for spec in QUALITY_METRICS},
+        "scenarios": scenarios,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
-    banner("T1 — Table I")
-    print(render_table1(run_table1(fast=False, seed=0)))
 
-    banner("F1 — Fig. 1 mapping strategies")
-    reports = run_fig1_mapping()
-    rows = []
-    for r1, r2 in zip(reports["strategy1"], reports["strategy2"]):
-        rows.append([f"{r1.crossbar_shape}", r1.n_crossbars,
-                     f"{r1.utilization:.2f}", r1.adc_per_output,
-                     r1.dropout_modules, f"{r2.crossbar_shape}",
-                     r2.n_crossbars, f"{r2.utilization:.2f}",
-                     r2.adc_per_output])
-    print(render_table(
-        ["S1 xbar", "S1 #", "S1 util", "S1 adc/out", "drop mods",
-         "S2 xbar", "S2 #", "S2 util", "S2 adc/out"], rows))
-    print(f"functional equivalence residual: "
-          f"{mapping_equivalence_check():.3f}")
+def cmd_sweep(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store) if args.store else None
+    records = run_sweep(args.matrix, store=store, markers=args.markers,
+                        progress=print)
+    scenarios = {r["scenario"]["name"]: r["metrics"] for r in records}
+    summaries = summaries_from_metrics(scenarios)
+    title = f"Scenario sweep ({args.matrix} matrix)"
+    print(format_metrics_report(summaries, title=title))
+    _github_summary(format_metrics_markdown(summaries, title=title))
+    if args.bank:
+        _write_bank(args.bank, args.matrix, scenarios)
+        print(f"banked baseline written to {args.bank}")
+    if store is not None:
+        print(f"results store: {store.root} "
+              f"({len(records)} run(s) appended)")
+    return 0
 
-    banner("F2 — Fig. 2 Scale-Dropout architecture breakdown")
-    breakdown = run_fig2_breakdown(fast=False, seed=0)
-    total = sum(v for k, v in breakdown.items()
-                if k != "weight_programming")
-    for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
-        share = value / total * 100 if name != "weight_programming" else 0
-        print(f"  {name:20s} {format_energy(value):>12s}  {share:5.1f}%")
 
-    banner("F3 — Fig. 3 SpinBayes design space")
-    for p in run_fig3_spinbayes(fast=False, seed=0,
-                                component_grid=(2, 4, 8, 16),
-                                level_grid=(4, 16, 32)):
-        print(f"  N={p.n_components:2d} levels={p.n_levels:2d} "
-              f"acc={p.accuracy * 100:5.1f}% "
-              f"E={format_energy(p.energy_per_image):>10s} "
-              f"qerr={p.quantization_error:.4f} "
-              f"arb_dev={p.arbiter_uniformity:.3f}")
-    print("  arbiter:", arbiter_statistics(8, 16384, seed=0))
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store)
+    summaries = store.summarize()
+    if not summaries:
+        print(f"no runs recorded under {store.root}")
+        return 1
+    title = f"Scenario sweep report ({store.root})"
+    print(format_metrics_report(summaries, title=title))
+    _github_summary(format_metrics_markdown(summaries, title=title))
+    return 0
 
-    banner("C1 — SpinDrop")
-    c1 = run_c1_spindrop(fast=False, seed=0)
-    print(f"  accuracy bayes/det: {c1.accuracy_bayesian * 100:.2f}% / "
-          f"{c1.accuracy_deterministic * 100:.2f}% "
-          f"(gain {c1.accuracy_gain * 100:+.2f}%)")
-    print(f"  OOD detection letters/noise: "
-          f"{c1.ood_detection_letters * 100:.1f}% / "
-          f"{c1.ood_detection_noise * 100:.1f}% "
-          f"(AUROC letters {c1.ood_auroc_letters:.3f})")
-    for name in c1.corrupted_bayesian:
-        print(f"  corrupted {name}: bayes "
-              f"{c1.corrupted_bayesian[name] * 100:.1f}% vs det "
-              f"{c1.corrupted_deterministic[name] * 100:.1f}%")
-    print(f"  mean corruption gain: {c1.mean_corruption_gain * 100:+.2f}%")
 
-    banner("C2 — Spatial-SpinDrop")
-    c2 = run_c2_spatial(seed=0)
-    print(f"  modules {c2.spindrop_modules} -> {c2.spatial_modules} "
-          f"({c2.module_reduction:.1f}x; paper 9x)")
-    print(f"  dropout-energy ratio {c2.dropout_energy_ratio:.1f}x "
-          f"(paper 94.11x)   total ratio {c2.total_energy_ratio:.2f}x "
-          f"(paper 2.94x)")
+def cmd_compare(args: argparse.Namespace) -> int:
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    matrix = args.matrix or baseline.get("matrix", "smoke")
+    store = ResultsStore(args.store) if args.store else None
+    records = run_sweep(matrix, store=store, progress=print)
+    fresh = {r["scenario"]["name"]: r["metrics"] for r in records}
 
-    banner("C3 — SpinScaleDrop")
-    c3 = run_c3_scaledrop(fast=False, seed=0)
-    print(f"  accuracy scale/spin: {c3.accuracy_scaledrop * 100:.2f}% / "
-          f"{c3.accuracy_spindrop * 100:.2f}%")
-    print(f"  RNG modules {c3.rng_modules_scaledrop} vs "
-          f"{c3.rng_modules_spindrop}; dropout-energy saving "
-          f"{c3.dropout_energy_saving:.0f}x (paper >100x)")
-    print(f"  device-fitted p: mu={c3.stochastic_p_mu:.3f} "
-          f"sigma={c3.stochastic_p_sigma:.3f}")
+    specs = resolve_specs(baseline.get("tolerances"))
+    failures = compare_quality(fresh, baseline, specs=specs)
+    rows = quality_summary_rows(fresh, baseline)
+    verdict = ("❌ quality gate FAILED" if failures
+               else "✅ quality gate passed")
+    _github_summary(
+        f"### Quality gate ({matrix} matrix vs {args.baseline})\n\n"
+        + markdown_table(["scenario", "accuracy", "ECE", "OOD-AUROC"],
+                         rows)
+        + f"\n{verdict}\n")
+    for message in failures:
+        print(f"FAIL: {message}")
+    if failures:
+        print(f"quality gate: {len(failures)} regression(s) vs "
+              f"{args.baseline}")
+        return 1
+    print(f"PASS: no accuracy/calibration regression vs {args.baseline}")
+    return 0
 
-    banner("C4 — Inverted normalization + Affine Dropout")
-    c4 = run_c4_affine(fast=False, seed=0)
-    print(f"  clean affine/baseline: {c4.clean_affine * 100:.2f}% / "
-          f"{c4.clean_baseline * 100:.2f}%")
-    print(f"  faulty affine/baseline: {c4.faulty_affine * 100:.2f}% / "
-          f"{c4.faulty_baseline * 100:.2f}% "
-          f"(recovery {c4.fault_recovery * 100:+.2f}%; paper up to +55.62%)")
-    print(f"  OOD detection noise/rotation: "
-          f"{c4.ood_detection_noise * 100:.1f}% / "
-          f"{c4.ood_detection_rotation * 100:.1f}% "
-          f"(paper 55.03% / 78.95%)")
-    print(f"  RMSE affine/baseline: {c4.rmse_affine:.4f} / "
-          f"{c4.rmse_baseline:.4f} "
-          f"(reduction {c4.rmse_reduction * 100:+.1f}%; paper up to 46.7%)")
 
-    banner("C5 — Bayesian sub-set parameter inference")
-    c5 = run_c5_subset_vi(fast=False, seed=0)
-    print(f"  accuracy {c5.accuracy * 100:.2f}%  NLL id/shift "
-          f"{c5.nll_in_distribution:.3f} / {c5.nll_shifted:.3f}")
-    print(f"  memory ratio {c5.memory_ratio:.1f}x (paper 158.7x)  "
-          f"power ratio {c5.power_ratio:.1f}x (paper 70x)  "
-          f"bayes fraction {c5.bayesian_fraction * 100:.2f}%")
+def cmd_full(args: argparse.Namespace) -> int:
+    from repro.experiments.full_suite import run_full
 
-    banner("C6 — SpinBayes")
-    c6 = run_c6_spinbayes(fast=False, seed=0)
-    print(f"  teacher/spinbayes accuracy: "
-          f"{c6.teacher_accuracy * 100:.2f}% / "
-          f"{c6.spinbayes_accuracy * 100:.2f}% "
-          f"(delta {c6.accuracy_delta * 100:+.2f}%)")
-    print(f"  OOD detection letters/noise: "
-          f"{c6.ood_detection_letters * 100:.1f}% / "
-          f"{c6.ood_detection_noise * 100:.1f}%  "
-          f"uncertainty ratio {c6.uncertainty_ratio:.2f}")
+    run_full()
+    return 0
 
-    banner("A1 — Ablations")
-    scaling = rng_scaling()
-    print("  RNG scaling:", {k: v for k, v in scaling.items()})
-    print("  STE clip:", ste_clip_ablation(epochs=8))
-    print("  scalar vs vector masks:",
-          scalar_vs_vector_masks(fast=False, seed=0))
-    for p in defect_robustness(fast=False, seed=0):
-        print(f"  defect {p.method:14s} rate={p.fault_rate:.2f} "
-              f"acc={p.accuracy * 100:.1f}%")
 
-    banner("S1/S2/L1 — Extended scopes (segmentation, 100-class, "
-           "latency/area)")
-    from repro.experiments.extended import (
-        latency_area_table,
-        run_100class_experiment,
-        run_seg_experiment,
-    )
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Scenario sweeps, metrics reports and the full "
+                    "experiment suite.")
+    sub = parser.add_subparsers(dest="command", metavar="command")
 
-    seg = run_seg_experiment(fast=False, seed=0)
-    print(f"  segmentation: mIoU {seg.miou:.3f} "
-          f"pixel acc {seg.pixel_accuracy * 100:.1f}% "
-          f"object acc id/ood {seg.object_accuracy_id * 100:.1f}%/"
-          f"{seg.object_accuracy_ood * 100:.1f}% "
-          f"object entropy id/ood {seg.object_entropy_id:.3f}/"
-          f"{seg.object_entropy_ood:.3f}")
-    hundred = run_100class_experiment(fast=False, seed=0)
-    print(f"  100-class: teacher {hundred.teacher_accuracy * 100:.2f}% "
-          f"spinbayes {hundred.spinbayes_accuracy * 100:.2f}% "
-          f"top-5 {hundred.top5_accuracy * 100:.2f}%")
-    for row in latency_area_table():
-        print(f"  {row['method']:16s} {row['latency_us']:8.1f} µs/img "
-              f"{row['area_mm2']:.3f} mm²")
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario matrix through the batched engines")
+    sweep.add_argument("--matrix", default="smoke",
+                       choices=sorted(MATRICES),
+                       help="scenario matrix to expand (default: smoke)")
+    sweep.add_argument("--store", default=None,
+                       help="results-store directory to append runs to")
+    sweep.add_argument("--markers", nargs="*", default=None,
+                       help="keep only scenarios carrying one of these "
+                            "markers")
+    sweep.add_argument("--bank", default=None, metavar="FILE",
+                       help="also write the banked-baseline JSON for "
+                            "the CI quality gate")
+    sweep.set_defaults(func=cmd_sweep)
 
-    banner("R1 — Reliability extensions")
-    from repro.experiments.ablations import (
-        calibration_comparison,
-        retention_aging,
-    )
+    report = sub.add_parser(
+        "report", help="render the metrics report from a results store")
+    report.add_argument("--store", required=True,
+                        help="results-store directory to read")
+    report.set_defaults(func=cmd_report)
 
-    for row in retention_aging(fast=False, seed=0):
-        print(f"  retention {row['age_years']:4.0f} y: "
-              f"flips {row['flipped_fraction'] * 100:.2f}% "
-              f"acc {row['accuracy'] * 100:.1f}%")
-    for name, metrics in calibration_comparison(fast=False, seed=0).items():
-        print(f"  calibration {name:14s} acc "
-              f"{metrics['accuracy'] * 100:.1f}% "
-              f"ECE {metrics['ece']:.3f} NLL {metrics['nll']:.3f}")
+    compare = sub.add_parser(
+        "compare", help="CI quality gate: fresh sweep vs banked baseline")
+    compare.add_argument("--baseline", default="BENCH_scenarios.json",
+                         help="banked baseline JSON (default: "
+                              "BENCH_scenarios.json)")
+    compare.add_argument("--matrix", default=None,
+                         choices=sorted(MATRICES),
+                         help="matrix to run (default: the baseline's)")
+    compare.add_argument("--store", default=None,
+                         help="optionally persist the fresh runs here")
+    compare.set_defaults(func=cmd_compare)
 
-    print(f"\ntotal wall time: {(time.time() - t0) / 60:.1f} min")
+    full = sub.add_parser(
+        "full", help="the legacy full experiment suite (~10-20 min)")
+    full.set_defaults(func=cmd_full)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        # No subcommand: print usage and exit 2 (argparse already does
+        # this for unknown subcommands).
+        parser.print_usage(sys.stderr)
+        parser.exit(2, f"{parser.prog}: error: a subcommand is required "
+                       f"(choose from sweep, report, compare, full)\n")
+    return args.func(args)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Render scenario-sweep results as text and Markdown reports.
+
+``format_metrics_report`` is the human-facing view printed by
+``repro-experiments sweep`` / ``report``; the Markdown variant feeds
+GitHub job summaries (the nightly sweep and the quality gate publish
+it as the run's front page).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.energy import format_energy, render_table
+from repro.experiments.results_store import RunSummary
+
+COLUMNS = ("accuracy", "nll", "ece", "brier", "ood_auroc",
+           "energy_j_per_image")
+HEADERS = ("scenario", "runs", "acc", "NLL", "ECE", "Brier",
+           "OOD-AUROC", "E/img")
+
+
+def _format_metric(name: str, value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if name == "accuracy":
+        return f"{value * 100:.1f}%"
+    if name == "energy_j_per_image":
+        return format_energy(value)
+    return f"{value:.3f}"
+
+
+def _rows(summaries: Iterable[RunSummary]) -> List[List[str]]:
+    rows = []
+    for summary in summaries:
+        row = [summary.name, str(summary.n_runs)]
+        row.extend(_format_metric(c, summary.metrics.get(c))
+                   for c in COLUMNS)
+        rows.append(row)
+    return rows
+
+
+def format_metrics_report(summaries: Sequence[RunSummary],
+                          title: str = "Scenario sweep") -> str:
+    """Fixed-width table of the latest metrics per scenario."""
+    if not summaries:
+        return f"{title}: no runs recorded"
+    return render_table(list(HEADERS), _rows(summaries), title=title)
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[str]]) -> str:
+    """A GitHub-flavoured Markdown table."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(str(c) for c in row) + " |"
+                 for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def format_metrics_markdown(summaries: Sequence[RunSummary],
+                            title: str = "Scenario sweep") -> str:
+    """Markdown rendering for GitHub job summaries."""
+    if not summaries:
+        return f"**{title}**: no runs recorded\n"
+    return (f"### {title}\n\n"
+            + markdown_table(HEADERS, _rows(summaries)))
+
+
+def summaries_from_metrics(scenarios: Dict[str, Dict[str, Optional[float]]]
+                           ) -> List[RunSummary]:
+    """Adapt a {name: metrics} mapping (e.g. a banked baseline or a
+    fresh in-memory sweep) to the report's RunSummary rows."""
+    return [RunSummary(name=name, family=name.split("/", 1)[0],
+                       metrics=metrics, n_runs=1, preset="")
+            for name, metrics in scenarios.items()]

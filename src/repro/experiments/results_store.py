@@ -1,0 +1,118 @@
+"""Append-only results store for scenario-sweep runs.
+
+Layout (one directory per store)::
+
+    <root>/
+      runs.jsonl     append-only, one canonical-JSON run record per line
+                     (scenario key + seed + metrics; fully deterministic
+                     — two identical sweeps append byte-identical lines)
+      meta.jsonl     non-deterministic sidecar (wall-clock per run,
+                     sweep timestamps) kept OUT of runs.jsonl so the
+                     results file stays byte-reproducible
+      summary.json   latest metrics per scenario plus matrix name —
+                     the comparable artifact; ``BENCH_scenarios.json``
+                     is this document plus gate tolerances
+
+The store is append-only: re-running a sweep appends fresh records and
+``summary.json`` resolves each scenario to its latest run (the
+``n_runs`` count preserves the history depth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSummary:
+    """Latest metrics for one scenario plus how many runs it has."""
+
+    name: str
+    family: str
+    metrics: Dict[str, Optional[float]]
+    n_runs: int
+    preset: str
+
+
+def _canonical(record: dict) -> str:
+    """Stable JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultsStore:
+    """Append-only JSON store under one directory."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.runs_path = self.root / "runs.jsonl"
+        self.meta_path = self.root / "meta.jsonl"
+        self.summary_path = self.root / "summary.json"
+
+    # ------------------------------------------------------------ write
+    def append(self, record: dict) -> None:
+        """Append one run record (must carry scenario.name + metrics)."""
+        if "scenario" not in record or "metrics" not in record:
+            raise ValueError("run record needs 'scenario' and 'metrics'")
+        with open(self.runs_path, "a", encoding="utf-8") as fh:
+            fh.write(_canonical(record) + "\n")
+
+    def append_meta(self, meta: dict) -> None:
+        """Append timing/provenance info (never read for comparisons)."""
+        stamped = dict(meta)
+        stamped.setdefault("timestamp", time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
+        with open(self.meta_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(stamped, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------- read
+    def runs(self) -> List[dict]:
+        if not self.runs_path.exists():
+            return []
+        with open(self.runs_path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def summarize(self) -> List[RunSummary]:
+        """Latest run per scenario, in first-seen order."""
+        latest: Dict[str, dict] = {}
+        counts: Dict[str, int] = {}
+        order: List[str] = []
+        for record in self.runs():
+            name = record["scenario"]["name"]
+            if name not in latest:
+                order.append(name)
+            latest[name] = record
+            counts[name] = counts.get(name, 0) + 1
+        return [RunSummary(name=name,
+                           family=latest[name]["scenario"]["family"],
+                           metrics=latest[name]["metrics"],
+                           n_runs=counts[name],
+                           preset=latest[name].get("preset", ""))
+                for name in order]
+
+    def scenario_metrics(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """{scenario name: latest metrics} — the compare-gate view."""
+        return {s.name: s.metrics for s in self.summarize()}
+
+    # ---------------------------------------------------------- summary
+    def write_summary(self, matrix: str = "") -> dict:
+        """Write (and return) summary.json from the current runs."""
+        summaries = self.summarize()
+        document = {
+            "matrix": matrix,
+            "n_runs": sum(s.n_runs for s in summaries),
+            "scenarios": {s.name: s.metrics for s in summaries},
+        }
+        with open(self.summary_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return document
+
+
+def load_results(root) -> List[dict]:
+    """Load every run record from a store directory."""
+    return ResultsStore(root).runs()

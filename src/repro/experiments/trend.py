@@ -1,0 +1,212 @@
+"""Shared CI trend-gate logic: banked baseline vs fresh run.
+
+Two consumers:
+
+* ``scripts/bench_ci.py`` — speed trend: every engine speedup (and the
+  serving throughput ratio) in the fresh benchmark record is diffed
+  against the committed ``BENCH_mc_forward.json``; a regression beyond
+  the relative tolerance fails CI (:func:`compare_bench_record`).
+* the ``quality-gate`` CI job — accuracy/calibration trend: the fresh
+  smoke-matrix sweep is diffed against the committed
+  ``BENCH_scenarios.json``; an ECE / OOD-AUROC / accuracy / NLL
+  regression beyond its per-metric tolerance fails CI
+  (:func:`compare_quality`).
+
+Both gates share one philosophy: entries present only in the fresh run
+or only in the baseline are skipped — the comparison protects banked
+results, it does not pin the record's schema.  A change can therefore
+add scenarios or engines freely, but can never silently give back a
+banked speedup or a banked calibration number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpec:
+    """Direction and tolerance for one gated quality metric.
+
+    ``relative=False``: fail when the fresh value falls outside
+    ``banked ± tolerance`` in the bad direction (absolute margin —
+    right for bounded scores like accuracy, ECE, AUROC).
+    ``relative=True``: fail when fresh/banked drifts more than
+    ``tolerance`` in the bad direction (right for scale-free values
+    like energy per image).
+    """
+
+    name: str
+    higher_is_better: bool
+    tolerance: float
+    relative: bool = False
+
+
+# Default quality gates.  ECE and OOD-AUROC are the headline paper
+# claims (calibration under defects, shift detection); accuracy and
+# NLL back them up; energy guards the ledger totals.  Sweeps are
+# seeded end-to-end, so the margins only need to absorb cross-platform
+# float jitter, not run-to-run noise.
+QUALITY_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("accuracy", higher_is_better=True, tolerance=0.03),
+    MetricSpec("nll", higher_is_better=False, tolerance=0.15),
+    MetricSpec("ece", higher_is_better=False, tolerance=0.02),
+    MetricSpec("ood_auroc", higher_is_better=True, tolerance=0.03),
+    MetricSpec("energy_j_per_image", higher_is_better=False,
+               tolerance=0.20, relative=True),
+)
+
+
+def metric_regression(name: str, fresh: Optional[float],
+                      banked: Optional[float],
+                      spec: MetricSpec) -> Optional[str]:
+    """Failure message if ``fresh`` regressed past ``banked``'s margin,
+    else None.  Missing values on either side are skipped."""
+    if fresh is None or banked is None:
+        return None
+    if spec.relative:
+        if banked == 0.0:
+            return None
+        drift = fresh / banked - 1.0
+        regressed = (drift < -spec.tolerance if spec.higher_is_better
+                     else drift > spec.tolerance)
+        if regressed:
+            return (f"{name} regressed to {fresh:.4g} from banked "
+                    f"{banked:.4g} (> {spec.tolerance:.0%} drift)")
+        return None
+    delta = fresh - banked
+    regressed = (delta < -spec.tolerance if spec.higher_is_better
+                 else delta > spec.tolerance)
+    if regressed:
+        return (f"{name} regressed to {fresh:.4f} from banked "
+                f"{banked:.4f} (margin {spec.tolerance:g})")
+    return None
+
+
+def resolve_specs(tolerances: Optional[Dict[str, float]] = None,
+                  specs: Sequence[MetricSpec] = QUALITY_METRICS
+                  ) -> List[MetricSpec]:
+    """Apply per-metric tolerance overrides (e.g. from the bank file)."""
+    if not tolerances:
+        return list(specs)
+    return [dataclasses.replace(s, tolerance=tolerances[s.name])
+            if s.name in tolerances else s for s in specs]
+
+
+def compare_quality(fresh: Dict[str, Dict[str, Optional[float]]],
+                    baseline: dict,
+                    specs: Optional[Sequence[MetricSpec]] = None,
+                    printer: Callable[[str], None] = print) -> List[str]:
+    """Quality trend gate: fresh sweep metrics vs a banked baseline.
+
+    ``fresh`` maps scenario name → metrics; ``baseline`` is the bank
+    document (``{"scenarios": {...}, "tolerances": {...}}`` — the
+    ``tolerances`` block overrides the default margins).  Returns the
+    list of failure messages (empty = gate passes).
+    """
+    if specs is None:
+        specs = resolve_specs(baseline.get("tolerances"))
+    failures: List[str] = []
+    for name, banked_metrics in sorted(baseline.get("scenarios", {}).items()):
+        fresh_metrics = fresh.get(name)
+        if fresh_metrics is None:
+            continue        # scenario removed/renamed: not gated
+        deltas = []
+        for spec in specs:
+            fresh_v = fresh_metrics.get(spec.name)
+            banked_v = banked_metrics.get(spec.name)
+            if fresh_v is not None and banked_v is not None:
+                deltas.append(f"{spec.name} {fresh_v:.4g} "
+                              f"(banked {banked_v:.4g})")
+            message = metric_regression(spec.name, fresh_v, banked_v, spec)
+            if message is not None:
+                failures.append(f"{name}: {message}")
+        printer(f"[compare] {name}: " + ", ".join(deltas))
+    return failures
+
+
+def quality_summary_rows(fresh: Dict[str, Dict[str, Optional[float]]],
+                         baseline: dict,
+                         metrics: Sequence[str] = ("accuracy", "ece",
+                                                   "ood_auroc")
+                         ) -> List[List[str]]:
+    """banked-vs-fresh rows for the quality gate's job-summary table."""
+    rows = []
+    for name, banked_metrics in sorted(baseline.get("scenarios", {}).items()):
+        fresh_metrics = fresh.get(name)
+        if fresh_metrics is None:
+            continue
+        row = [name]
+        for metric in metrics:
+            fresh_v = fresh_metrics.get(metric)
+            banked_v = banked_metrics.get(metric)
+            fresh_s = "-" if fresh_v is None else f"{fresh_v:.3f}"
+            banked_s = "-" if banked_v is None else f"{banked_v:.3f}"
+            row.append(f"{fresh_s} (banked {banked_s})")
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Speed trend (the bench_ci --compare gate)
+# ----------------------------------------------------------------------
+def compare_bench_record(record: dict, baseline: dict, tolerance: float,
+                         printer: Callable[[str], None] = print
+                         ) -> List[str]:
+    """Trend gate: fail on a >tolerance regression of any entry that
+    exists in both the fresh record and the committed baseline.
+
+    New entries (a gate added by the same change) and removed ones are
+    skipped — the comparison protects banked speedups, it does not pin
+    the record's schema.  Returns the list of failure messages.
+    """
+    failures: List[str] = []
+    floor = 1.0 - tolerance
+    base_engines = baseline.get("engines", {})
+    for name, entry in record["engines"].items():
+        base = base_engines.get(name)
+        if base is None or "speedup" not in base:
+            continue
+        ratio = entry["speedup"] / base["speedup"]
+        printer(f"[compare] {name}: {entry['speedup']:.2f}x vs baseline "
+                f"{base['speedup']:.2f}x ({ratio:.2f} of banked)")
+        if ratio < floor:
+            failures.append(
+                f"{name} speedup regressed to {entry['speedup']:.2f}x "
+                f"from banked {base['speedup']:.2f}x "
+                f"(> {tolerance:.0%} regression)")
+    base_serving = baseline.get("serving", {})
+    if "throughput_ratio" in base_serving:
+        fresh = record["serving"]["throughput_ratio"]
+        banked = base_serving["throughput_ratio"]
+        ratio = fresh / banked
+        printer(f"[compare] serving: {fresh:.2f}x vs baseline "
+                f"{banked:.2f}x ({ratio:.2f} of banked)")
+        if ratio < floor:
+            failures.append(
+                f"serving throughput ratio regressed to {fresh:.2f}x "
+                f"from banked {banked:.2f}x (> {tolerance:.0%} regression)")
+    return failures
+
+
+def bench_summary_rows(record: dict, baseline: dict) -> List[List[str]]:
+    """banked-vs-fresh speedup rows for the bench job-summary table."""
+    rows = []
+    base_engines = baseline.get("engines", {})
+    for name, entry in record["engines"].items():
+        base = base_engines.get(name, {})
+        banked = base.get("speedup")
+        banked_s = f"{banked:.2f}x" if banked is not None else "-"
+        ratio_s = (f"{entry['speedup'] / banked:.2f}"
+                   if banked else "-")
+        rows.append([name, banked_s, f"{entry['speedup']:.2f}x", ratio_s])
+    fresh_serving = record.get("serving", {}).get("throughput_ratio")
+    banked_serving = baseline.get("serving", {}).get("throughput_ratio")
+    if fresh_serving is not None:
+        banked_s = (f"{banked_serving:.2f}x"
+                    if banked_serving is not None else "-")
+        ratio_s = (f"{fresh_serving / banked_serving:.2f}"
+                   if banked_serving else "-")
+        rows.append(["serving", banked_s, f"{fresh_serving:.2f}x", ratio_s])
+    return rows

@@ -1,0 +1,103 @@
+"""The repro-experiments CLI: exit codes, sweep determinism, the gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestExitCodes:
+    def test_no_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "a subcommand is required" in err
+
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_matrix_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--matrix", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_report_on_empty_store_fails(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "empty")]) == 1
+        assert "no runs recorded" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_is_deterministic_across_invocations(self, tmp_path,
+                                                       capsys):
+        store_a = tmp_path / "a"
+        store_b = tmp_path / "b"
+        assert main(["sweep", "--matrix", "tiny",
+                     "--store", str(store_a)]) == 0
+        assert main(["sweep", "--matrix", "tiny",
+                     "--store", str(store_b)]) == 0
+        # The ISSUE's acceptance criterion: two runs, identical metrics
+        # JSON, byte for byte.
+        assert ((store_a / "runs.jsonl").read_bytes()
+                == (store_b / "runs.jsonl").read_bytes())
+        out = capsys.readouterr().out
+        assert "Scenario sweep (tiny matrix)" in out
+        assert "results store:" in out
+
+    def test_sweep_writes_bank_and_report(self, tmp_path, capsys,
+                                          monkeypatch):
+        summary_path = tmp_path / "step_summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_path))
+        bank = tmp_path / "BENCH_scenarios.json"
+        assert main(["sweep", "--matrix", "tiny",
+                     "--bank", str(bank)]) == 0
+        document = json.loads(bank.read_text())
+        assert document["matrix"] == "tiny"
+        assert document["preset"] == "tiny"
+        assert set(document["tolerances"]) == {
+            "accuracy", "nll", "ece", "ood_auroc", "energy_j_per_image"}
+        assert document["scenarios"]
+        # Job-summary table written via GITHUB_STEP_SUMMARY.
+        assert "### Scenario sweep (tiny matrix)" in summary_path.read_text()
+        assert "banked baseline written" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    @pytest.fixture()
+    def bank(self, tmp_path):
+        path = tmp_path / "BENCH_scenarios.json"
+        assert main(["sweep", "--matrix", "tiny", "--bank", str(path)]) == 0
+        return path
+
+    def test_gate_passes_against_fresh_bank(self, bank, capsys):
+        assert main(["compare", "--baseline", str(bank)]) == 0
+        out = capsys.readouterr().out
+        assert "[compare]" in out
+        assert "PASS: no accuracy/calibration regression" in out
+
+    def test_gate_fails_on_injected_ece_regression(self, bank, capsys,
+                                                   monkeypatch, tmp_path):
+        summary_path = tmp_path / "step_summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_path))
+        document = json.loads(bank.read_text())
+        for metrics in document["scenarios"].values():
+            metrics["ece"] -= 0.05      # pretend calibration used to be
+        bank.write_text(json.dumps(document))  # 0.05 better than today
+        assert main(["compare", "--baseline", str(bank)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out
+        assert "ece regressed" in out
+        assert "quality gate FAILED" in summary_path.read_text()
+
+    def test_compare_uses_banked_matrix_by_default(self, bank, capsys):
+        # No --matrix flag: the bank document names the matrix to run,
+        # so both tiny scenarios are compared.
+        assert main(["compare", "--baseline", str(bank)]) == 0
+        out = capsys.readouterr().out
+        assert "[compare] spindrop/clean/d0/v0/letters:" in out
+        assert "[compare] spindrop/gaussian_noise@3/d0/v0/letters:" in out

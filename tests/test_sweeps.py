@@ -1,0 +1,243 @@
+"""Scenario-sweep engine: matrix expansion, determinism, results store."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import (
+    format_metrics_markdown,
+    format_metrics_report,
+    summaries_from_metrics,
+)
+from repro.experiments.results_store import ResultsStore, load_results
+from repro.experiments.sweeps import (
+    MATRICES,
+    PRESETS,
+    MatrixBlock,
+    MatrixSpec,
+    ModelCache,
+    Scenario,
+    expand_matrix,
+    run_scenario,
+    run_sweep,
+)
+
+
+class TestScenario:
+    def test_name_is_canonical(self):
+        s = Scenario(family="spindrop", corruption="gaussian_noise",
+                     severity=3, defect_rate=0.02, variability=0.05,
+                     ood="letters")
+        assert s.name == "spindrop/gaussian_noise@3/d0.02/v0.05/letters"
+
+    def test_clean_name_has_no_severity(self):
+        s = Scenario(family="spindrop")
+        assert s.name == "spindrop/clean/d0/v0/none"
+
+    def test_seed_is_stable_and_distinct(self):
+        a = Scenario(family="spindrop")
+        b = Scenario(family="spindrop")
+        c = Scenario(family="scaledrop")
+        # Stable across instances (hashlib, not salted hash()) and
+        # distinct across scenario keys.
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+        assert 0 <= a.seed < 2 ** 32
+
+    def test_markers_not_part_of_identity(self):
+        a = Scenario(family="spindrop", markers=("smoke",))
+        b = Scenario(family="spindrop", markers=("full",))
+        assert a.name == b.name
+        assert a.seed == b.seed
+
+
+class TestExpandMatrix:
+    def test_product_expansion_counts(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("spindrop", "scaledrop"),
+                        corruptions=(None, ("gaussian_noise", 3)),
+                        defect_rates=(0.0, 0.02)),
+        ))
+        assert len(expand_matrix(spec)) == 2 * 2 * 2
+
+    def test_dedup_merges_markers(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("spindrop",), markers=("smoke",)),
+            MatrixBlock(families=("spindrop",), markers=("full",)),
+        ))
+        scenarios = expand_matrix(spec)
+        assert len(scenarios) == 1
+        assert scenarios[0].markers == ("full", "smoke")
+
+    def test_severity_collapses_without_corruption(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("spindrop",), corruptions=(None,)),
+        ))
+        (s,) = expand_matrix(spec)
+        assert s.severity == 0
+
+    def test_segmenter_collapses_device_axes(self):
+        # The software segmenter has no CIM deployment: defect and
+        # variability values dedup to a single scenario.
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("segmenter",),
+                        defect_rates=(0.0, 0.02, 0.05),
+                        variabilities=(0.0, 0.05)),
+        ))
+        scenarios = expand_matrix(spec)
+        assert len(scenarios) == 1
+        assert scenarios[0].defect_rate == 0.0
+        assert scenarios[0].variability == 0.0
+
+    def test_marker_filtering(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("spindrop",), markers=("smoke",)),
+            MatrixBlock(families=("scaledrop",), markers=("full",)),
+        ))
+        kept = expand_matrix(spec, markers=["smoke"])
+        assert [s.family for s in kept] == ["spindrop"]
+
+    def test_unknown_family_rejected(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("resnet",)),
+        ))
+        with pytest.raises(ValueError, match="unknown model family"):
+            expand_matrix(spec)
+
+    def test_ood_objects_is_segmentation_only(self):
+        spec = MatrixSpec(preset="tiny", blocks=(
+            MatrixBlock(families=("spindrop",), ood_sets=("ood_objects",)),
+        ))
+        with pytest.raises(ValueError, match="segmentation-only"):
+            expand_matrix(spec)
+
+    def test_named_matrices_expand_and_are_unique(self):
+        for name, spec in MATRICES.items():
+            scenarios = expand_matrix(spec)
+            assert scenarios, name
+            names = [s.name for s in scenarios]
+            assert len(names) == len(set(names)), name
+            assert spec.preset in PRESETS
+
+
+class TestRunScenario:
+    def test_scenario_metrics_are_deterministic(self):
+        preset = PRESETS["tiny"]
+        scenario = Scenario(family="spindrop", defect_rate=0.02,
+                            ood="letters")
+        cache = ModelCache()
+        first = run_scenario(scenario, preset, cache)
+        second = run_scenario(scenario, preset, cache)
+        assert first == second
+        m = first["metrics"]
+        assert 0.0 <= m["accuracy"] <= 1.0
+        assert 0.0 <= m["ece"] <= 1.0
+        assert 0.0 <= m["ood_auroc"] <= 1.0
+        assert m["energy_j_per_image"] > 0.0
+
+    def test_scenario_independent_of_sweep_order(self):
+        # Determinism contract: a scenario's record does not depend on
+        # which other scenarios ran before it in the same process.
+        preset = PRESETS["tiny"]
+        scenario = Scenario(family="spindrop", corruption="gaussian_noise",
+                            severity=3, ood="letters")
+        cache = ModelCache()
+        run_scenario(Scenario(family="spindrop"), preset, cache)
+        with_warmup = run_scenario(scenario, preset, cache)
+        alone = run_scenario(scenario, preset, ModelCache())
+        assert with_warmup == alone
+
+
+class TestRunSweep:
+    def test_tiny_sweep_persists_and_reproduces(self, tmp_path):
+        store_a = ResultsStore(tmp_path / "a")
+        store_b = ResultsStore(tmp_path / "b")
+        records_a = run_sweep("tiny", store=store_a)
+        records_b = run_sweep("tiny", store=store_b)
+        assert records_a == records_b
+        # Byte-identical runs.jsonl is what the CI quality gate leans on.
+        assert (store_a.runs_path.read_bytes()
+                == store_b.runs_path.read_bytes())
+        # Wall-clock noise is segregated into the meta sidecar.
+        assert store_a.meta_path.exists()
+        summary = json.loads(store_a.summary_path.read_text())
+        assert summary["matrix"] == "tiny"
+        assert set(summary["scenarios"]) == {r["scenario"]["name"]
+                                             for r in records_a}
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            run_sweep("nope")
+
+
+class TestResultsStore:
+    RECORD = {"scenario": {"name": "spindrop/clean/d0/v0/none",
+                           "family": "spindrop"},
+              "preset": "tiny",
+              "metrics": {"accuracy": 0.9, "ece": 0.05,
+                          "ood_auroc": None}}
+
+    def test_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.append(self.RECORD)
+        assert load_results(tmp_path / "store") == [self.RECORD]
+
+    def test_append_requires_scenario_and_metrics(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.append({"metrics": {}})
+
+    def test_summarize_keeps_latest_and_counts_history(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.append(self.RECORD)
+        newer = json.loads(json.dumps(self.RECORD))
+        newer["metrics"]["accuracy"] = 0.95
+        store.append(newer)
+        (summary,) = store.summarize()
+        assert summary.n_runs == 2
+        assert summary.metrics["accuracy"] == 0.95
+        assert summary.family == "spindrop"
+        assert store.scenario_metrics() == {
+            "spindrop/clean/d0/v0/none": newer["metrics"]}
+
+    def test_write_summary_document(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.append(self.RECORD)
+        document = store.write_summary(matrix="tiny")
+        assert document["n_runs"] == 1
+        on_disk = json.loads(store.summary_path.read_text())
+        assert on_disk == document
+
+    def test_empty_store_reads_cleanly(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        assert store.runs() == []
+        assert store.summarize() == []
+
+
+class TestReport:
+    METRICS = {"spindrop/clean/d0/v0/letters": {
+        "accuracy": 0.9, "nll": 0.4, "ece": 0.05, "brier": 0.2,
+        "ood_auroc": 0.8, "energy_j_per_image": 1.5e-9}}
+
+    def test_text_report_contains_scenario_and_values(self):
+        summaries = summaries_from_metrics(self.METRICS)
+        text = format_metrics_report(summaries, title="Sweep")
+        assert "spindrop/clean/d0/v0/letters" in text
+        assert "90.0%" in text
+        assert "0.800" in text
+
+    def test_missing_metrics_render_as_dash(self):
+        summaries = summaries_from_metrics(
+            {"segmenter/clean/d0/v0/none": {"accuracy": 0.9}})
+        text = format_metrics_report(summaries)
+        assert "-" in text
+
+    def test_markdown_report_is_a_table(self):
+        markdown = format_metrics_markdown(
+            summaries_from_metrics(self.METRICS), title="Sweep")
+        assert markdown.startswith("### Sweep")
+        assert "| spindrop/clean/d0/v0/letters |" in markdown
+
+    def test_empty_inputs(self):
+        assert "no runs" in format_metrics_report([])
+        assert "no runs" in format_metrics_markdown([])

@@ -1,0 +1,165 @@
+"""Shared trend-gate logic behind bench_ci and the CI quality gate."""
+
+import pytest
+
+from repro.experiments.trend import (
+    QUALITY_METRICS,
+    MetricSpec,
+    bench_summary_rows,
+    compare_bench_record,
+    compare_quality,
+    metric_regression,
+    quality_summary_rows,
+    resolve_specs,
+)
+
+
+class TestMetricRegression:
+    def test_absolute_margin_both_directions(self):
+        up = MetricSpec("accuracy", higher_is_better=True, tolerance=0.03)
+        down = MetricSpec("ece", higher_is_better=False, tolerance=0.02)
+        assert metric_regression("accuracy", 0.88, 0.90, up) is None
+        assert "regressed" in metric_regression("accuracy", 0.85, 0.90, up)
+        assert metric_regression("ece", 0.06, 0.05, down) is None
+        assert "regressed" in metric_regression("ece", 0.09, 0.05, down)
+
+    def test_improvements_never_fail(self):
+        up = MetricSpec("accuracy", higher_is_better=True, tolerance=0.03)
+        down = MetricSpec("ece", higher_is_better=False, tolerance=0.02)
+        assert metric_regression("accuracy", 0.99, 0.80, up) is None
+        assert metric_regression("ece", 0.001, 0.20, down) is None
+
+    def test_relative_drift(self):
+        spec = MetricSpec("energy_j_per_image", higher_is_better=False,
+                          tolerance=0.20, relative=True)
+        assert metric_regression("e", 1.1e-9, 1.0e-9, spec) is None
+        assert "drift" in metric_regression("e", 1.5e-9, 1.0e-9, spec)
+        # A zero baseline cannot be a drift reference.
+        assert metric_regression("e", 1.0, 0.0, spec) is None
+
+    def test_missing_values_are_skipped(self):
+        spec = MetricSpec("ood_auroc", higher_is_better=True, tolerance=0.03)
+        assert metric_regression("a", None, 0.9, spec) is None
+        assert metric_regression("a", 0.5, None, spec) is None
+
+
+class TestResolveSpecs:
+    def test_defaults_pass_through(self):
+        assert resolve_specs(None) == list(QUALITY_METRICS)
+
+    def test_bank_tolerances_override(self):
+        specs = resolve_specs({"ece": 0.5})
+        by_name = {s.name: s for s in specs}
+        assert by_name["ece"].tolerance == 0.5
+        assert by_name["accuracy"].tolerance == pytest.approx(0.03)
+
+
+class TestCompareQuality:
+    FRESH = {"spindrop/clean/d0/v0/letters": {
+        "accuracy": 0.85, "nll": 0.5, "ece": 0.08, "brier": 0.25,
+        "ood_auroc": 0.80, "energy_j_per_image": 1.0e-9}}
+
+    def baseline(self, **overrides):
+        metrics = dict(self.FRESH["spindrop/clean/d0/v0/letters"])
+        metrics.update(overrides)
+        return {"scenarios": {"spindrop/clean/d0/v0/letters": metrics}}
+
+    def test_identical_metrics_pass(self):
+        lines = []
+        failures = compare_quality(self.FRESH, self.baseline(),
+                                   printer=lines.append)
+        assert failures == []
+        assert lines and lines[0].startswith(
+            "[compare] spindrop/clean/d0/v0/letters:")
+
+    def test_injected_ece_regression_fails(self):
+        # The banked ECE was 0.05 better than fresh → beyond the 0.02
+        # margin → the gate must fail (the ISSUE's acceptance demo).
+        failures = compare_quality(self.FRESH, self.baseline(ece=0.03),
+                                   printer=lambda _: None)
+        assert len(failures) == 1
+        assert "ece regressed" in failures[0]
+
+    def test_auroc_drop_fails(self):
+        failures = compare_quality(self.FRESH,
+                                   self.baseline(ood_auroc=0.95),
+                                   printer=lambda _: None)
+        assert any("ood_auroc regressed" in f for f in failures)
+
+    def test_unmatched_scenarios_are_skipped(self):
+        baseline = self.baseline()
+        baseline["scenarios"]["gone/clean/d0/v0/none"] = {"ece": 0.0}
+        failures = compare_quality(self.FRESH, baseline,
+                                   printer=lambda _: None)
+        assert failures == []
+
+    def test_none_metrics_are_skipped(self):
+        fresh = {"segmenter/clean/d0/v0/none": {
+            "accuracy": 0.9, "ood_auroc": None,
+            "energy_j_per_image": None}}
+        baseline = {"scenarios": {"segmenter/clean/d0/v0/none": {
+            "accuracy": 0.9, "ood_auroc": 0.99,
+            "energy_j_per_image": 1.0e-9}}}
+        failures = compare_quality(fresh, baseline, printer=lambda _: None)
+        assert failures == []
+
+    def test_bank_tolerance_block_is_honoured(self):
+        baseline = self.baseline(ece=0.03)
+        baseline["tolerances"] = {"ece": 0.5}
+        failures = compare_quality(self.FRESH, baseline,
+                                   printer=lambda _: None)
+        assert failures == []
+
+    def test_summary_rows(self):
+        rows = quality_summary_rows(self.FRESH, self.baseline())
+        assert rows == [["spindrop/clean/d0/v0/letters",
+                         "0.850 (banked 0.850)",
+                         "0.080 (banked 0.080)",
+                         "0.800 (banked 0.800)"]]
+
+
+class TestCompareBenchRecord:
+    RECORD = {"engines": {"spindrop": {"speedup": 3.5},
+                          "segmentation": {"speedup": 3.2}},
+              "serving": {"throughput_ratio": 1.1}}
+
+    def test_passes_within_tolerance(self):
+        baseline = {"engines": {"spindrop": {"speedup": 3.6}},
+                    "serving": {"throughput_ratio": 1.1}}
+        lines = []
+        failures = compare_bench_record(self.RECORD, baseline, 0.20,
+                                        printer=lines.append)
+        assert failures == []
+        assert any(line.startswith("[compare] spindrop:")
+                   for line in lines)
+
+    def test_speedup_regression_fails(self):
+        baseline = {"engines": {"spindrop": {"speedup": 5.0}}}
+        failures = compare_bench_record(self.RECORD, baseline, 0.20,
+                                        printer=lambda _: None)
+        assert len(failures) == 1
+        assert "spindrop speedup regressed" in failures[0]
+
+    def test_serving_regression_fails(self):
+        baseline = {"engines": {},
+                    "serving": {"throughput_ratio": 2.0}}
+        failures = compare_bench_record(self.RECORD, baseline, 0.20,
+                                        printer=lambda _: None)
+        assert len(failures) == 1
+        assert "serving throughput ratio regressed" in failures[0]
+
+    def test_new_and_removed_engines_are_skipped(self):
+        # The gate protects banked entries; it does not pin the schema.
+        baseline = {"engines": {"spindrop": {"speedup": 3.5},
+                                "retired_engine": {"speedup": 9.9}}}
+        failures = compare_bench_record(self.RECORD, baseline, 0.20,
+                                        printer=lambda _: None)
+        assert failures == []
+
+    def test_summary_rows_include_serving_and_unbanked(self):
+        baseline = {"engines": {"spindrop": {"speedup": 3.5}}}
+        rows = bench_summary_rows(self.RECORD, baseline)
+        by_name = {row[0]: row for row in rows}
+        assert by_name["spindrop"] == ["spindrop", "3.50x", "3.50x", "1.00"]
+        assert by_name["segmentation"][1] == "-"
+        assert by_name["serving"][2] == "1.10x"
