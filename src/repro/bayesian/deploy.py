@@ -125,6 +125,28 @@ class BayesianCim:
         self.network = CimNetwork(stages, self.ledger, self.config)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(cls, network: CimNetwork,
+                   bindings: List[_MaskBinding],
+                   rng: np.random.Generator) -> "BayesianCim":
+        """Wire a deployment from pre-built parts (snapshot restore).
+
+        ``network`` carries the already-installed crossbar state and
+        the shared ledger; ``bindings`` link rebuilt RNG banks and
+        stand-in sources to the network's stages.  Nothing is
+        programmed or drawn here — :mod:`repro.cim.snapshot` restores
+        every generator's bit state afterwards, so the first MC pass
+        continues the captured streams exactly.
+        """
+        self = cls.__new__(cls)
+        self.config = network.config
+        self.ledger = network.ledger
+        self._rng = rng
+        self.bindings = list(bindings)
+        self.network = network
+        return self
+
+    # ------------------------------------------------------------------
     def _bind_mask(self, layer, gate: DropoutGate, rng_var) -> None:
         if isinstance(layer, SpinDropout):
             kind, n_modules = "neuron", layer.n_features

@@ -234,14 +234,19 @@ def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
     engine computes them once and reduces every MC pass to a
     mask-weighted sum — the software mirror of the paper's wordline
     gating, where a dropped feature map's crossbar rows simply never
-    fire.  Exactness: with ±1 kernels and {−1, 0, +1} activations all
-    partial sums are small integers, so the regrouped summation (and
-    its float32 storage) is bit-identical to the fused GEMM the
-    sequential loop runs.
+    fire.  Grouped kernels decompose the same way *within* each group
+    (output-channel block g sums only its own group's input maps), so
+    the plan holds one partial slab per group and the apply step
+    contracts each group's mask slice against its slab.  Exactness:
+    with ±1 kernels and {−1, 0, +1} activations all partial sums are
+    small integers, so the regrouped summation (and its float32
+    storage) is bit-identical to the fused GEMM the sequential loop
+    runs.
 
-    Returns ``(bank_index, conv, partials, out_hw)`` or None when the
-    suffix does not start with the gated pair (or the activations are
-    not exact-integer, where regrouping could round differently).
+    Returns ``(bank_index, conv, per-group partials, out_hw)`` or None
+    when the suffix does not start with the gated pair (or the
+    activations are not exact-integer, where regrouping could round
+    differently).
     """
     from repro.nn.binary import BinaryConv2d
 
@@ -252,15 +257,14 @@ def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
         return None
     if not isinstance(conv, BinaryConv2d) or conv.binarize_input:
         return None
-    if conv.groups != 1:
-        # The per-channel partial decomposition assumes every output
-        # channel sees every input channel; grouped kernels don't.
-        return None
     if drop not in modules:
         return None
     if not _is_exact_ternary(base):
         return None
     n, c, h0, w0 = base.shape
+    groups = conv.groups
+    c_per = c // groups
+    o_per = conv.out_channels // groups
     kh = kw = conv.kernel_size
     pad = conv.padding
     h, w = h0 + 2 * pad, w0 + 2 * pad
@@ -268,25 +272,37 @@ def _channel_gated_conv_plan(suffix, modules, base: np.ndarray):
     padded[:, :, pad:h - pad, pad:w - pad] = base
     rows, cols_idx, out_h, out_w = _im2col_indices(h, w, kh, kw, conv.stride,
                                                    conv.dilation)
-    patches = padded[:, :, rows, cols_idx]            # (N, C, KH·KW, L)
     w_bin = np.where(conv.weight.data >= 0, np.float32(1), np.float32(-1))
-    w_per_c = np.ascontiguousarray(                   # (C, O, KH·KW)
-        w_bin.reshape(conv.out_channels, c, kh * kw).transpose(1, 0, 2))
-    partials = np.matmul(w_per_c[None], patches)      # (N, C, O, L)
+    w_bin = w_bin.reshape(conv.out_channels, c_per, kh * kw)
+    partials = []
+    for g in range(groups):
+        # (N, C/G, KH·KW, L) patches of this group's input maps ×
+        # (C/G, O/G, KH·KW) kernels → (N, C/G, O/G, L) partials.
+        patches = padded[:, g * c_per:(g + 1) * c_per, rows, cols_idx]
+        w_g = np.ascontiguousarray(
+            w_bin[g * o_per:(g + 1) * o_per].transpose(1, 0, 2))
+        partials.append(np.matmul(w_g[None], patches))
     return modules.index(drop), conv, partials, (out_h, out_w)
 
 
 def _channel_gated_conv_apply(plan, bank_slice: np.ndarray) -> np.ndarray:
-    """Contract one chunk of keep-mask banks against the partials,
-    then apply the conv's scale/bias exactly as its inference forward
-    does."""
+    """Contract one chunk of keep-mask banks against the per-group
+    partials, then apply the conv's scale/bias exactly as its
+    inference forward does."""
     _, conv, partials, (out_h, out_w) = plan
     p = bank_slice.shape[0]
-    n, c, o, length = partials.shape
-    masks = bank_slice.reshape(p, n, 1, c).astype(np.float32)
-    out = np.matmul(masks, partials.reshape(n, c, o * length))
+    blocks = []
+    c0 = 0
+    for slab in partials:
+        n, cg, og, length = slab.shape
+        masks = bank_slice[:, :, c0:c0 + cg].reshape(
+            p, n, 1, cg).astype(np.float32)
+        out_g = np.matmul(masks, slab.reshape(n, cg, og * length))
+        blocks.append(out_g.reshape(p, n, og, out_h, out_w))
+        c0 += cg
+    out = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=2)
     out = out.astype(np.float64).reshape(
-        p * n, conv.out_channels, out_h, out_w)
+        p * bank_slice.shape[1], conv.out_channels, out_h, out_w)
     if conv.scale is not None:
         out *= conv.scale.data.reshape(1, -1, 1, 1)
     if conv.bias is not None:

@@ -82,6 +82,95 @@ class _SpinBayesMvmLayer:
         self.last_selected = 0
         self._values_stack: Optional[np.ndarray] = None
 
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Capture the layer as ``(meta, arrays)`` — the snapshot format.
+
+        Everything stochastic (quantization noise, arbiter device
+        realization) is already baked into the captured arrays, so
+        :meth:`from_state` rebuilds the layer without consuming any RNG
+        or booking ``mtj_write``.  The arbiter's *shared* software
+        generator (``config.rng``) is not part of this state; the
+        deployment snapshot owns the sharing topology.
+        """
+        meta = {
+            "type": "spinbayes_mvm",
+            "n_components": self.n_components,
+            "out_features": self.out_features,
+            "in_features": self.crossbars[0].n_rows,
+            "n_levels": self.crossbars[0].n_levels,
+            "binarize_input": self.binarize_input,
+            "last_selected": self.last_selected,
+            "v_min": [bar._v_min for bar in self.crossbars],
+            "v_max": [bar._v_max for bar in self.crossbars],
+        }
+        arrays = {
+            "g": np.stack([bar.state_dict()["g"] for bar in self.crossbars]),
+            "intended": np.stack(self.intended),
+        }
+        if self.bias is not None:
+            arrays["bias"] = self.bias
+        if self.arbiter is not None:
+            arb = self.arbiter.state_dict()
+            bank = arb["stage_rng"]
+            meta["arbiter"] = {
+                "selections": arb["selections"],
+                "stage_rng": {k: bank[k] for k in
+                              ("n_modules", "target_p", "current",
+                               "set_ops", "read_ops", "reset_ops")},
+            }
+            arrays["arbiter_weights"] = arb["weights"]
+            arrays["arbiter_deltas"] = bank["deltas"]
+            arrays["arbiter_effective_p"] = bank["effective_p"]
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta: dict, arrays: dict, config: CimConfig,
+                   ledger: OpLedger) -> "_SpinBayesMvmLayer":
+        """Rebuild from captured state: no programming, no RNG draws."""
+        self = cls.__new__(cls)
+        self.n_components = int(meta["n_components"])
+        self.out_features = int(meta["out_features"])
+        self.bias = arrays.get("bias")
+        self.ledger = ledger
+        self.intended = [np.asarray(c) for c in arrays["intended"]]
+        self.binarize_input = bool(meta["binarize_input"])
+        in_features = int(meta["in_features"])
+        n_levels = int(meta["n_levels"])
+        self.crossbars = []
+        for k in range(self.n_components):
+            bar = AnalogCrossbar(
+                in_features, self.out_features, n_levels=n_levels,
+                mtj_params=config.mtj_params,
+                variability=config.variability,
+                defects=config.defects,
+                rng=config.rng, ledger=ledger)
+            bar.load_state({"g": arrays["g"][k],
+                            "v_min": meta["v_min"][k],
+                            "v_max": meta["v_max"][k]})
+            self.crossbars.append(bar)
+        if self.n_components > 1:
+            # variability=None skips the constructor's delta draws; the
+            # captured realization is installed right after.
+            self.arbiter = SpintronicArbiter(
+                self.n_components, mtj_params=config.mtj_params,
+                variability=None, rng=config.rng)
+            arb_meta = meta["arbiter"]
+            bank = dict(arb_meta["stage_rng"])
+            bank["deltas"] = arrays["arbiter_deltas"]
+            bank["effective_p"] = arrays["arbiter_effective_p"]
+            self.arbiter.load_state({
+                "weights": arrays["arbiter_weights"],
+                "selections": arb_meta["selections"],
+                "stage_rng": bank,
+            })
+            self.arbiter._stage_rng.variability = config.variability
+        else:
+            self.arbiter = None
+        self.last_selected = int(meta["last_selected"])
+        self._values_stack = None
+        return self
+
     def _has_read_noise(self) -> bool:
         var = self.crossbars[0].variability
         return var is not None and var.params.sigma_read > 0.0

@@ -35,6 +35,13 @@ from repro.cim.layers import (
 )
 from repro.cim.compile import compile_to_cim
 from repro.cim.optimize import FoldedAffine, fold_norm_into_scale
+from repro.cim.snapshot import (
+    DeploymentSnapshot,
+    SnapshotError,
+    read_artifact,
+    snapshot_engine_factory,
+    write_artifact,
+)
 
 __all__ = [
     "OpLedger",
@@ -66,4 +73,9 @@ __all__ = [
     "compile_to_cim",
     "FoldedAffine",
     "fold_norm_into_scale",
+    "DeploymentSnapshot",
+    "SnapshotError",
+    "snapshot_engine_factory",
+    "write_artifact",
+    "read_artifact",
 ]

@@ -41,10 +41,47 @@ from repro.cim.layers import (
     DigitalFlatten,
     DigitalMaxPool,
     DigitalReLU,
+    DigitalScale,
     DigitalSign,
+    DropoutGate,
     FrozenNorm,
 )
 from repro.cim.ledger import OpLedger
+
+# The state/wiring split: every deployed stage knows how to capture its
+# own (meta, arrays) state and rebuild itself from it; this table maps
+# the manifest type tag back to the class.  ``repro.cim.snapshot``
+# drives both directions.
+STAGE_TYPES = {
+    "cim_linear": CimLinear,
+    "cim_conv2d": CimConv2d,
+    "frozen_norm": FrozenNorm,
+    "dropout_gate": DropoutGate,
+    "digital_scale": DigitalScale,
+    "digital_sign": DigitalSign,
+    "digital_relu": DigitalReLU,
+    "digital_maxpool": DigitalMaxPool,
+    "digital_flatten": DigitalFlatten,
+}
+
+
+def stage_state(stage: CimLayer):
+    """Capture one deployed stage as ``(meta, arrays)``."""
+    state = getattr(stage, "state_dict", None)
+    if state is None:
+        raise TypeError(
+            f"{type(stage).__name__} does not support state capture")
+    return state()
+
+
+def stage_from_state(meta: dict, arrays: dict, config: CimConfig,
+                     ledger: OpLedger) -> CimLayer:
+    """Rebuild one deployed stage from captured state (no programming)."""
+    try:
+        cls = STAGE_TYPES[meta["type"]]
+    except KeyError:
+        raise ValueError(f"unknown deployed stage type {meta.get('type')!r}")
+    return cls.from_state(meta, arrays, config, ledger)
 
 
 def _deploy_binary_linear(layer: nn.BinaryLinear, config: CimConfig,

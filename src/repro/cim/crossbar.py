@@ -161,6 +161,35 @@ class XnorCrossbar:
         self.ledger.add("dac_drive", total_active)
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The programmed analog state (post-defect, post-variability).
+
+        Everything :meth:`program` produced, with the stochastic draws
+        already baked in — installing it via :meth:`load_state` skips
+        re-programming entirely, so no RNG is consumed and no
+        ``mtj_write`` is booked.
+        """
+        if self._weights is None:
+            raise RuntimeError("crossbar not programmed")
+        return {
+            "weights": self._weights,
+            "g_direct": self._g_direct,
+            "g_complement": self._g_complement,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install captured conductance state without re-programming."""
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        if weights.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"state shape {weights.shape} != ({self.n_rows}, {self.n_cols})")
+        self._weights = weights
+        self._g_direct = np.asarray(state["g_direct"], dtype=np.float64)
+        self._g_complement = np.asarray(state["g_complement"],
+                                        dtype=np.float64)
+        self._w_signed_t = None
+
+    # ------------------------------------------------------------------
     def _ir_drop_factor(self, n_active: np.ndarray) -> np.ndarray:
         """First-order IR-drop attenuation.
 
@@ -343,6 +372,23 @@ class AnalogCrossbar:
         # Each multi-level cell programs ceil(log2(levels)) junction writes.
         writes_per_cell = max(1, int(np.ceil(np.log2(self.n_levels))))
         self.ledger.add("mtj_write", values.size * writes_per_cell)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The programmed analog state (quantization + noise baked in)."""
+        if self._g is None:
+            raise RuntimeError("crossbar not programmed")
+        return {"g": self._g, "v_min": self._v_min, "v_max": self._v_max}
+
+    def load_state(self, state: dict) -> None:
+        """Install captured conductance state without re-programming."""
+        g = np.asarray(state["g"], dtype=np.float64)
+        if g.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"state shape {g.shape} != ({self.n_rows}, {self.n_cols})")
+        self._g = g
+        self._v_min = float(state["v_min"])
+        self._v_max = float(state["v_max"])
 
     def stored_values(self) -> np.ndarray:
         """Decode current conductances back to the value scale."""

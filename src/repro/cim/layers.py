@@ -81,15 +81,29 @@ class CimLinear(CimLayer):
 
     ``input_mask`` (settable per pass) gates wordlines — the hardware
     realization of neuron dropout from the preceding layer.
+
+    When the analog chain is ideal and every row chunk's
+    :class:`PopcountADC` has an odd integer step, the layer takes the
+    same *exact-integer float32* route as :class:`CimConv2d`: an ideal
+    crossbar's decoded MAC is a small integer, float32 represents it
+    exactly, and an odd step means ``rint(mac / step)`` can never land
+    on a rounding tie — so the float32 GEMM is bit-identical to the
+    analog simulation (and books the same ledger entries).  Set
+    ``exact_route = False`` to force the analog path.
+
+    ``program=False`` builds the crossbar grid without programming it
+    (no RNG draws, no ``mtj_write`` bookings) so captured conductance
+    state can be installed verbatim — the snapshot restore path.
     """
 
     def __init__(self, binary_weights: np.ndarray,
                  scale: Optional[np.ndarray],
                  bias: Optional[np.ndarray],
-                 config: CimConfig, ledger: OpLedger):
+                 config: CimConfig, ledger: OpLedger,
+                 program: bool = True):
         super().__init__(ledger)
         weights = np.asarray(binary_weights, dtype=np.float64)  # (out, in)
-        if not np.all(np.isin(weights, (-1.0, 1.0))):
+        if program and not np.all(np.isin(weights, (-1.0, 1.0))):
             raise ValueError("CimLinear requires ±1 weights")
         self.out_features, self.in_features = weights.shape
         self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
@@ -115,21 +129,67 @@ class CimLinear(CimLayer):
                     defects=config.defects,
                     wire_resistance=config.wire_resistance,
                     rng=config.rng, ledger=ledger)
-                bar.program(w[r0:r1, c0:c1])
+                if program:
+                    bar.program(w[r0:r1, c0:c1])
                 row_bars.append(bar)
             self.crossbars.append(row_bars)
             self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
                                          ledger=ledger))
 
+        self.exact_route = True      # opt-out switch (tests, benches)
+        self._exact_ok = (
+            all(bar.is_ideal for row in self.crossbars for bar in row)
+            and all(adc.step % 2 == 1 for adc in self.adcs))
+
     @property
     def n_crossbars(self) -> int:
         return len(self.row_chunks) * len(self.col_chunks)
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """(meta, arrays) split of the programmed layer state."""
+        meta = {
+            "type": "cim_linear",
+            "out_features": self.out_features,
+            "in_features": self.in_features,
+            "exact_route": bool(self.exact_route),
+        }
+        arrays = {}
+        if self.scale is not None:
+            arrays["scale"] = self.scale
+        if self.bias is not None:
+            arrays["bias"] = self.bias
+        for i, row in enumerate(self.crossbars):
+            for j, bar in enumerate(row):
+                for key, value in bar.state_dict().items():
+                    arrays[f"xb{i}_{j}_{key}"] = value
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "CimLinear":
+        """Rebuild the layer around captured crossbar state (no
+        programming: no RNG consumption, no ``mtj_write``)."""
+        weights = np.empty((meta["out_features"], meta["in_features"]))
+        self = cls(weights, arrays.get("scale"), arrays.get("bias"),
+                   config, ledger, program=False)
+        for i, row in enumerate(self.crossbars):
+            for j, bar in enumerate(row):
+                bar.load_state({
+                    "weights": arrays[f"xb{i}_{j}_weights"],
+                    "g_direct": arrays[f"xb{i}_{j}_g_direct"],
+                    "g_complement": arrays[f"xb{i}_{j}_g_complement"],
+                })
+        self.exact_route = bool(meta["exact_route"])
+        return self
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         lead, x = split_leading_axes(x, 1)   # e.g. (T, N, F) sample axis
         bits = np.sign(x)     # binarize; exact zeros stay gated (dropout)
+        exact = self.exact_route and self._exact_ok
         out = np.zeros((x.shape[0], self.out_features))
+        partial = np.zeros_like(out)
         for i, (r0, r1) in enumerate(self.row_chunks):
             # Drive masks are shared by every column tile of the row
             # chunk — prepared once instead of per crossbar.
@@ -138,16 +198,21 @@ class CimLinear(CimLayer):
                 gate = (np.asarray(self.input_mask,
                                    dtype=np.float64)[r0:r1] > 0
                         ).astype(np.float64)
-                pos = (chunk > 0).astype(np.float64) * gate
-                neg = (chunk < 0).astype(np.float64) * gate
+                chunk = chunk * gate
+            if exact:
+                chunk32 = chunk.astype(np.float32)
+                total_active = int(np.count_nonzero(chunk32))
+                for j, (c0, c1) in enumerate(self.col_chunks):
+                    bar = self.crossbars[i][j]
+                    partial[:, c0:c1] = chunk32 @ bar.signed_weights_t().T
+                    bar.book_mvm(total_active)
             else:
                 pos = (chunk > 0).astype(np.float64)
                 neg = (chunk < 0).astype(np.float64)
-            n_active = (pos + neg).sum(axis=1, keepdims=True)
-            partial = np.zeros_like(out)
-            for j, (c0, c1) in enumerate(self.col_chunks):
-                partial[:, c0:c1] = self.crossbars[i][j].mvm_prepared(
-                    pos, neg, n_active)
+                n_active = (pos + neg).sum(axis=1, keepdims=True)
+                for j, (c0, c1) in enumerate(self.col_chunks):
+                    partial[:, c0:c1] = self.crossbars[i][j].mvm_prepared(
+                        pos, neg, n_active)
             out += self.adcs[i].convert(partial)
         if self.scale is not None:
             out = out * (self.scale * self.scale_multiplier)
@@ -197,10 +262,11 @@ class CimConv2d(CimLayer):
                  bias: Optional[np.ndarray],
                  stride: int, padding: int,
                  config: CimConfig, ledger: OpLedger,
-                 dilation: int = 1, groups: int = 1):
+                 dilation: int = 1, groups: int = 1,
+                 program: bool = True):
         super().__init__(ledger)
         weights = np.asarray(binary_weights, dtype=np.float64)
-        if not np.all(np.isin(weights, (-1.0, 1.0))):
+        if program and not np.all(np.isin(weights, (-1.0, 1.0))):
             raise ValueError("CimConv2d requires ±1 weights")
         self.c_out, c_in_pg, self.kh, self.kw = weights.shape
         if self.kh != self.kw:
@@ -246,7 +312,8 @@ class CimConv2d(CimLayer):
                         defects=config.defects,
                         wire_resistance=config.wire_resistance,
                         rng=config.rng, ledger=ledger)
-                    bar.program(w[r0:r1, c0:c1])
+                    if program:
+                        bar.program(w[r0:r1, c0:c1])
                     row_bars.append(bar)
                 self.crossbars.append(row_bars)
                 self.adcs.append(PopcountADC(config.adc_bits, r1 - r0,
@@ -256,6 +323,52 @@ class CimConv2d(CimLayer):
         self._exact_ok = (
             all(bar.is_ideal for row in self.crossbars for bar in row)
             and all(adc.step % 2 == 1 for adc in self.adcs))
+
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """(meta, arrays) split of the programmed layer state."""
+        meta = {
+            "type": "cim_conv2d",
+            "c_out": self.c_out,
+            "c_in": self.c_in,
+            "kh": self.kh,
+            "stride": self.stride,
+            "padding": self.padding,
+            "dilation": self.dilation,
+            "groups": self.groups,
+            "exact_route": bool(self.exact_route),
+        }
+        arrays = {}
+        if self.scale is not None:
+            arrays["scale"] = self.scale
+        if self.bias is not None:
+            arrays["bias"] = self.bias
+        for f, row in enumerate(self.crossbars):
+            for j, bar in enumerate(row):
+                for key, value in bar.state_dict().items():
+                    arrays[f"xb{f}_{j}_{key}"] = value
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "CimConv2d":
+        """Rebuild the layer around captured crossbar state."""
+        groups = meta["groups"]
+        weights = np.empty((meta["c_out"], meta["c_in"] // groups,
+                            meta["kh"], meta["kh"]))
+        self = cls(weights, arrays.get("scale"), arrays.get("bias"),
+                   meta["stride"], meta["padding"], config, ledger,
+                   dilation=meta["dilation"], groups=groups,
+                   program=False)
+        for f, row in enumerate(self.crossbars):
+            for j, bar in enumerate(row):
+                bar.load_state({
+                    "weights": arrays[f"xb{f}_{j}_weights"],
+                    "g_direct": arrays[f"xb{f}_{j}_g_direct"],
+                    "g_complement": arrays[f"xb{f}_{j}_g_complement"],
+                })
+        self.exact_route = bool(meta["exact_route"])
+        return self
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
@@ -350,6 +463,27 @@ class FrozenNorm(CimLayer):
         self.gamma_multiplier: float | np.ndarray = 1.0
         self.beta_multiplier: float | np.ndarray = 1.0
 
+    def state_dict(self):
+        meta = {"type": "frozen_norm", "spatial": self.spatial,
+                "inverted": self.inverted}
+        arrays = {"mean": self.mean, "std": self.std}
+        if self.gamma is not None:
+            arrays["gamma"] = self.gamma
+        if self.beta is not None:
+            arrays["beta"] = self.beta
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "FrozenNorm":
+        self = cls(arrays["mean"], np.zeros_like(arrays["mean"]),
+                   arrays.get("gamma"), arrays.get("beta"), 0.0,
+                   meta["spatial"], meta["inverted"], ledger)
+        # Install the captured std verbatim — sqrt(var + eps) need not
+        # round-trip bit-exactly through var = std².
+        self.std = np.asarray(arrays["std"], dtype=np.float64)
+        return self
+
     def _shape(self, x: np.ndarray) -> tuple:
         return (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
 
@@ -414,6 +548,15 @@ class DropoutGate(CimLayer):
         self.channelwise = channelwise
         self.mask: Optional[np.ndarray] = None
 
+    def state_dict(self):
+        return ({"type": "dropout_gate", "p": self.p,
+                 "channelwise": self.channelwise}, {})
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DropoutGate":
+        return cls(meta["p"], meta["channelwise"], ledger)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.mask is None:
             return x
@@ -459,6 +602,15 @@ class DigitalScale(CimLayer):
         self.multiplier: float | np.ndarray = 1.0
         self.passes_per_call: int = 1
 
+    def state_dict(self):
+        return ({"type": "digital_scale", "spatial": self.spatial},
+                {"scale": self.scale})
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DigitalScale":
+        return cls(arrays["scale"], meta["spatial"], ledger)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         effective = self.scale * self.multiplier
         self.ledger.add("sram_read", self.scale.size * self.passes_per_call)
@@ -479,12 +631,28 @@ class DigitalScale(CimLayer):
 class DigitalSign(CimLayer):
     """Sign activation taken by sense amplifiers (1-bit readout)."""
 
+    def state_dict(self):
+        return {"type": "digital_sign"}, {}
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DigitalSign":
+        return cls(ledger)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.ledger.add("sa_read", x.size)
         return np.where(x >= 0, 1.0, -1.0)
 
 
 class DigitalReLU(CimLayer):
+    def state_dict(self):
+        return {"type": "digital_relu"}, {}
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DigitalReLU":
+        return cls(ledger)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.ledger.add("digital_op", x.size)
         return np.maximum(x, 0.0)
@@ -494,6 +662,14 @@ class DigitalMaxPool(CimLayer):
     def __init__(self, kernel: int, ledger: OpLedger):
         super().__init__(ledger)
         self.kernel = kernel
+
+    def state_dict(self):
+        return {"type": "digital_maxpool", "kernel": self.kernel}, {}
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DigitalMaxPool":
+        return cls(meta["kernel"], ledger)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
@@ -514,6 +690,14 @@ class DigitalMaxPool(CimLayer):
 
 
 class DigitalFlatten(CimLayer):
+    def state_dict(self):
+        return {"type": "digital_flatten"}, {}
+
+    @classmethod
+    def from_state(cls, meta, arrays, config: CimConfig,
+                   ledger: OpLedger) -> "DigitalFlatten":
+        return cls(ledger)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
 

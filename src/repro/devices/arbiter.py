@@ -109,6 +109,26 @@ class SpintronicArbiter:
         return np.asarray([self.select() for _ in range(n)], dtype=np.int64)
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture weights, selection counter and stage-RNG realization."""
+        return {
+            "weights": self.weights,
+            "selections": self.selections,
+            "stage_rng": self._stage_rng.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install captured arbiter state (no variability draws)."""
+        w = np.asarray(state["weights"], dtype=np.float64)
+        if w.shape != (self.n_choices,):
+            raise ValueError(
+                f"weight shape {w.shape} != ({self.n_choices},)")
+        self.weights = w
+        self._cdf = np.concatenate([[0.0], np.cumsum(self.weights)])
+        self.selections = int(state["selections"])
+        self._stage_rng.load_state(state["stage_rng"])
+
+    # ------------------------------------------------------------------
     @property
     def cycles_per_selection(self) -> int:
         """Device cycles consumed per one-hot draw."""

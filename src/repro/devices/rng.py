@@ -146,3 +146,35 @@ class SpintronicRNG:
     @property
     def total_ops(self) -> int:
         return self.set_ops + self.read_ops + self.reset_ops
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture the bank's device realization and cycle counters.
+
+        The shared ``rng`` generator is *not* part of this state — it
+        may be shared across many banks, so its bit-generator state is
+        captured once by whoever owns the sharing topology (the
+        deployment snapshot).
+        """
+        return {
+            "n_modules": self.n_modules,
+            "target_p": self.target_p,
+            "deltas": self._deltas,
+            "current": float(self._current),
+            "effective_p": self.effective_p,
+            "set_ops": self.set_ops,
+            "read_ops": self.read_ops,
+            "reset_ops": self.reset_ops,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a captured device realization (no variability draws)."""
+        self.n_modules = int(state["n_modules"])
+        self.target_p = float(state["target_p"])
+        self._deltas = np.asarray(state["deltas"], dtype=np.float64)
+        self._current = float(state["current"])
+        self.effective_p = np.asarray(state["effective_p"],
+                                      dtype=np.float64)
+        self.set_ops = int(state["set_ops"])
+        self.read_ops = int(state["read_ops"])
+        self.reset_ops = int(state["reset_ops"])

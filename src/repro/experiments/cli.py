@@ -42,7 +42,7 @@ from repro.experiments.report import (
     summaries_from_metrics,
 )
 from repro.experiments.results_store import ResultsStore
-from repro.experiments.sweeps import MATRICES, run_sweep
+from repro.experiments.sweeps import MATRICES, ModelCache, run_sweep
 from repro.experiments.trend import (
     QUALITY_METRICS,
     compare_quality,
@@ -75,13 +75,20 @@ def _write_bank(path: str, matrix: str, scenarios: dict) -> None:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultsStore(args.store) if args.store else None
+    cache = ModelCache(cache_dir=args.cache_dir, log=print)
     records = run_sweep(args.matrix, store=store, markers=args.markers,
-                        progress=print)
+                        progress=print, cache=cache)
     scenarios = {r["scenario"]["name"]: r["metrics"] for r in records}
     summaries = summaries_from_metrics(scenarios)
     title = f"Scenario sweep ({args.matrix} matrix)"
     print(format_metrics_report(summaries, title=title))
-    _github_summary(format_metrics_markdown(summaries, title=title))
+    stats = cache.stats()
+    cache_line = (f"model cache: {stats['hits']} hit(s), "
+                  f"{stats['misses']} miss(es), "
+                  f"{stats['invalidations']} invalidation(s)")
+    print(cache_line)
+    _github_summary(format_metrics_markdown(summaries, title=title)
+                    + f"\n{cache_line}\n")
     if args.bank:
         _write_bank(args.bank, args.matrix, scenarios)
         print(f"banked baseline written to {args.bank}")
@@ -108,7 +115,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         baseline = json.load(fh)
     matrix = args.matrix or baseline.get("matrix", "smoke")
     store = ResultsStore(args.store) if args.store else None
-    records = run_sweep(matrix, store=store, progress=print)
+    records = run_sweep(matrix, store=store, progress=print,
+                        cache_dir=args.cache_dir)
     fresh = {r["scenario"]["name"]: r["metrics"] for r in records}
 
     specs = resolve_specs(baseline.get("tolerances"))
@@ -134,7 +142,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_full(args: argparse.Namespace) -> int:
     from repro.experiments.full_suite import run_full
 
-    run_full()
+    run_full(cache_dir=args.cache_dir)
     return 0
 
 
@@ -158,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bank", default=None, metavar="FILE",
                        help="also write the banked-baseline JSON for "
                             "the CI quality gate")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist trained models here; repeated "
+                            "sweeps restore them and skip retraining")
     sweep.set_defaults(func=cmd_sweep)
 
     report = sub.add_parser(
@@ -176,10 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="matrix to run (default: the baseline's)")
     compare.add_argument("--store", default=None,
                          help="optionally persist the fresh runs here")
+    compare.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="trained-model cache directory (see "
+                              "sweep --cache-dir)")
     compare.set_defaults(func=cmd_compare)
 
     full = sub.add_parser(
         "full", help="the legacy full experiment suite (~10-20 min)")
+    full.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="trained-model cache for the sweep section")
     full.set_defaults(func=cmd_full)
 
     return parser

@@ -42,8 +42,13 @@ def banner(title: str) -> None:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
 
 
-def run_full() -> None:
-    """The complete EXPERIMENTS.md regeneration suite."""
+def run_full(cache_dir=None) -> None:
+    """The complete EXPERIMENTS.md regeneration suite.
+
+    ``cache_dir`` persists the sweep section's trained models across
+    invocations (see :class:`repro.experiments.sweeps.ModelCache`), so
+    a re-run after an evaluation-only change skips the retraining.
+    """
     t0 = time.time()
 
     banner("T1 — Table I")
@@ -203,7 +208,8 @@ def run_full() -> None:
         summaries_from_metrics
     from repro.experiments.sweeps import run_sweep
 
-    records = run_sweep("smoke", progress=lambda line: print(f"  {line}"))
+    records = run_sweep("smoke", progress=lambda line: print(f"  {line}"),
+                        cache_dir=cache_dir)
     print(format_metrics_report(summaries_from_metrics(
         {r["scenario"]["name"]: r["metrics"] for r in records}),
         title="Scenario sweep (smoke matrix)"))

@@ -36,6 +36,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import itertools
+import json
+import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -312,17 +314,122 @@ MATRICES: Dict[str, MatrixSpec] = {
 # ----------------------------------------------------------------------
 # Model training cache (per family × preset; fixed training seed)
 # ----------------------------------------------------------------------
-class ModelCache:
-    """Trains each model family once per preset and memoizes it."""
+def preset_hash(preset: SweepPreset) -> str:
+    """SHA-256 of the preset's canonical JSON — the cache-validity key.
 
-    def __init__(self) -> None:
+    Any preset field change (budgets, seeds, architecture) changes the
+    hash, so a stale disk entry is detected rather than silently
+    served (or, worse, silently retrained over).
+    """
+    payload = json.dumps(dataclasses.asdict(preset), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ModelCache:
+    """Trains each model family once per preset and memoizes it.
+
+    With ``cache_dir`` set, trained parameters also persist to disk as
+    versioned, content-hashed artifacts (the same
+    :func:`repro.cim.snapshot.write_artifact` substrate deployment
+    snapshots use, ``kind="trained_model"``), keyed
+    ``<family>-<preset name>`` with the full :func:`preset_hash` in
+    the manifest.  A later sweep — same interpreter or not — restores
+    the trained weights and skips retraining entirely; the scenario's
+    CIM deployment is still rebuilt from the scenario seed, preserving
+    the determinism contract.  An entry whose stored preset hash no
+    longer matches (the preset definition changed underneath it) is
+    *invalidated with a log line* and retrained, never silently
+    reused; ``hits`` / ``misses`` / ``invalidations`` counters surface
+    in the sweep report.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
         self._models: Dict[Tuple[str, str], object] = {}
+        self.cache_dir = cache_dir
+        self._log = log if log is not None else (lambda message: None)
+        self.hits = 0             # disk restores (retraining skipped)
+        self.misses = 0           # trained fresh
+        self.invalidations = 0    # stale/unreadable entries discarded
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations}
 
     def get(self, family: str, preset: SweepPreset):
         key = (family, preset.name)
-        if key not in self._models:
-            self._models[key] = _train_family(family, preset)
-        return self._models[key]
+        if key in self._models:
+            return self._models[key]
+        model = self._load_disk(family, preset)
+        if model is None:
+            self.misses += 1
+            model = _train_family(family, preset)
+            self._store_disk(family, preset, model)
+        else:
+            self.hits += 1
+        self._models[key] = model
+        return model
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, family: str, preset: SweepPreset) -> str:
+        return os.path.join(self.cache_dir, f"{family}-{preset.name}")
+
+    def _invalidate(self, family: str, preset: SweepPreset,
+                    reason: str) -> None:
+        self.invalidations += 1
+        self._log(f"cache-invalidate {family}/{preset.name}: {reason}; "
+                  f"retraining")
+
+    def _load_disk(self, family: str, preset: SweepPreset):
+        if self.cache_dir is None:
+            return None
+        path = self._entry_path(family, preset)
+        if not os.path.exists(os.path.join(path, "manifest.json")):
+            return None
+        from repro.cim.snapshot import SnapshotError, read_artifact
+        try:
+            manifest, arrays = read_artifact(path, kind="trained_model")
+        except SnapshotError as exc:
+            self._invalidate(family, preset, f"unreadable entry ({exc})")
+            return None
+        expected = preset_hash(preset)
+        stored = manifest.get("preset_hash")
+        if stored != expected:
+            self._invalidate(
+                family, preset,
+                f"preset hash changed ({str(stored)[:12]} -> "
+                f"{expected[:12]})")
+            return None
+        model = _build_family(family, preset)
+        expected_keys = set(model.state_dict())
+        if set(arrays) != expected_keys:
+            self._invalidate(family, preset, "state keys mismatch")
+            return None
+        try:
+            # Full module state: trained parameters AND buffers
+            # (batch-norm running statistics), so the restored model
+            # is bit-identical to the one that was trained.
+            model.load_state_dict(dict(arrays))
+        except (KeyError, ValueError) as exc:
+            self._invalidate(family, preset, f"state mismatch ({exc})")
+            return None
+        model.eval()
+        return model
+
+    def _store_disk(self, family: str, preset: SweepPreset,
+                    model) -> None:
+        if self.cache_dir is None:
+            return
+        from repro.cim.snapshot import write_artifact
+        manifest = {
+            "kind": "trained_model",
+            "family": family,
+            "preset": preset.name,
+            "preset_hash": preset_hash(preset),
+        }
+        write_artifact(self._entry_path(family, preset), manifest,
+                       model.state_dict())
 
 
 def _train_config(preset: SweepPreset) -> TrainConfig:
@@ -331,28 +438,40 @@ def _train_config(preset: SweepPreset) -> TrainConfig:
                        seed=preset.train_seed)
 
 
+def _build_family(family: str, preset: SweepPreset):
+    """Untrained architecture for one family — the shape the disk
+    cache restores trained parameters into."""
+    if family == "segmenter":
+        return make_bayesian_segmenter(width=8, p=0.15,
+                                       seed=preset.train_seed)
+    data = digits_dataset(n_samples=preset.n_train, seed=preset.train_seed)
+    if family == "spindrop":
+        return make_spindrop_mlp(data.n_features, preset.hidden,
+                                 data.n_classes, p=0.1,
+                                 seed=preset.train_seed)
+    if family == "scaledrop":
+        return make_scaledrop_mlp(data.n_features, preset.hidden,
+                                  data.n_classes, seed=preset.train_seed)
+    if family in ("subset_vi", "spinbayes"):
+        return make_subset_vi_mlp(data.n_features, preset.hidden,
+                                  data.n_classes, seed=preset.train_seed)
+    raise ValueError(f"unknown model family {family!r}")
+
+
 def _train_family(family: str, preset: SweepPreset):
     """Train the software model behind one family (spinbayes reuses
     the subset-VI teacher, matching the paper's distillation)."""
     if family == "segmenter":
         return _train_segmenter(preset)
+    model = _build_family(family, preset)
     data = digits_dataset(n_samples=preset.n_train, seed=preset.train_seed)
     config = _train_config(preset)
     if family == "spindrop":
-        model = make_spindrop_mlp(data.n_features, preset.hidden,
-                                  data.n_classes, p=0.1,
-                                  seed=preset.train_seed)
         return train_classifier(model, data, config)
     if family == "scaledrop":
-        model = make_scaledrop_mlp(data.n_features, preset.hidden,
-                                   data.n_classes, seed=preset.train_seed)
         return train_classifier(model, data, config,
                                 scale_reg_strength=1e-3)
-    if family in ("subset_vi", "spinbayes"):
-        model = make_subset_vi_mlp(data.n_features, preset.hidden,
-                                   data.n_classes, seed=preset.train_seed)
-        return train_classifier(model, data, config, loss_kind="elbo")
-    raise ValueError(f"unknown model family {family!r}")
+    return train_classifier(model, data, config, loss_kind="elbo")
 
 
 def _train_segmenter(preset: SweepPreset) -> nn.Sequential:
@@ -521,13 +640,19 @@ def run_scenario(scenario: Scenario, preset: SweepPreset,
 
 def run_sweep(matrix: str, store=None,
               markers: Optional[Sequence[str]] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> List[dict]:
+              progress: Optional[Callable[[str], None]] = None,
+              cache: Optional[ModelCache] = None,
+              cache_dir: Optional[str] = None) -> List[dict]:
     """Expand and run a named matrix; optionally persist to a store.
 
     Run records (scenario key + metrics) are fully deterministic;
     wall-clock timings go to the store's meta sidecar so the results
-    file stays byte-reproducible.
+    file stays byte-reproducible.  ``cache`` (or a fresh
+    :class:`ModelCache` over ``cache_dir``) supplies the trained
+    models; with a cache directory, repeated sweeps restore trained
+    weights from disk instead of retraining, and the hit/miss/
+    invalidation counts are reported through ``progress`` and the
+    store's meta sidecar.
     """
     if matrix not in MATRICES:
         raise KeyError(f"unknown matrix {matrix!r}; "
@@ -535,7 +660,8 @@ def run_sweep(matrix: str, store=None,
     spec = MATRICES[matrix]
     preset = PRESETS[spec.preset]
     scenarios = expand_matrix(spec, markers=markers)
-    cache = ModelCache()
+    if cache is None:
+        cache = ModelCache(cache_dir=cache_dir, log=progress)
     records = []
     for i, scenario in enumerate(scenarios):
         t0 = time.perf_counter()
@@ -552,6 +678,12 @@ def run_sweep(matrix: str, store=None,
             progress(f"[{i + 1}/{len(scenarios)}] {scenario.name}: "
                      f"acc={m['accuracy']:.3f} ece={m['ece']:.3f} "
                      f"nll={m['nll']:.3f} auroc={aur} ({wall_s:.1f}s)")
+    stats = cache.stats()
+    if progress is not None:
+        progress(f"model cache: {stats['hits']} hit(s), "
+                 f"{stats['misses']} miss(es), "
+                 f"{stats['invalidations']} invalidation(s)")
     if store is not None:
+        store.append_meta({"model_cache": stats})
         store.write_summary(matrix=matrix)
     return records

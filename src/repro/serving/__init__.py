@@ -16,6 +16,7 @@ from repro.serving.async_frontend import (
 )
 from repro.serving.autoscale import Autoscaler
 from repro.serving.metrics import LoadMetrics, MetricsSnapshot
+from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import (
     BatchScheduler,
     PendingPrediction,
@@ -30,6 +31,7 @@ __all__ = [
     "BatchScheduler",
     "LoadMetrics",
     "MetricsSnapshot",
+    "ModelRegistry",
     "PendingPrediction",
     "SchedulerStats",
     "ShardedScheduler",

@@ -215,14 +215,16 @@ class AsyncBatchScheduler:
         return loop
 
     # ------------------------------------------------------------------
-    async def submit(self, x, n_samples: Optional[int] = None
-                     ) -> AsyncPrediction:
+    async def submit(self, x, n_samples: Optional[int] = None,
+                     model: Optional[str] = None) -> AsyncPrediction:
         """Enqueue a request; suspends under backpressure.
 
         ``x`` is ``(n, …features)`` or a single ``(…features,)``
         sample; ``n_samples`` overrides the scheduler default for
-        this request only (grouped by T at flush, like the sync
-        front-ends).  Returns an awaitable :class:`AsyncPrediction`.
+        this request only; ``model`` routes to a registered model of
+        the inner scheduler's registry (grouped by (model, T) at
+        flush, like the sync front-ends).  Returns an awaitable
+        :class:`AsyncPrediction`.
 
         Raises
         ------
@@ -236,7 +238,8 @@ class AsyncBatchScheduler:
         if self._closed:
             raise RuntimeError("scheduler is closed")
         loop = self._bind_loop()
-        x, n_samples = self.scheduler._normalize_request(x, n_samples)
+        x, n_samples, model_id = self.scheduler._normalize_request(
+            x, n_samples, model)
         rows = x.shape[0]
         await self._acquire_rows(rows)
         if self._closed:                 # closed while suspended
@@ -246,7 +249,7 @@ class AsyncBatchScheduler:
         self._next_seq += 1
         future: asyncio.Future = loop.create_future()
         self._futures[seq] = future
-        self._pending.append(_Request(seq, x, n_samples))
+        self._pending.append(_Request(seq, x, n_samples, model_id))
         self._pending_rows += rows
         self.stats.requests += 1
         self.stats.rows += rows
@@ -266,12 +269,12 @@ class AsyncBatchScheduler:
             self._idle_handle = loop.call_soon(self._idle_fire)
         return AsyncPrediction(future, rows, n_samples)
 
-    async def predict(self, x, n_samples: Optional[int] = None
-                      ) -> PredictiveResult:
+    async def predict(self, x, n_samples: Optional[int] = None,
+                      model: Optional[str] = None) -> PredictiveResult:
         """Submit one request and wait for its predictive result.
 
-        Equivalent to ``await (await submit(x, n_samples))``; raises
-        whatever :meth:`submit` or the ticket would raise.
+        Equivalent to ``await (await submit(x, n_samples, model))``;
+        raises whatever :meth:`submit` or the ticket would raise.
 
         The wait resolves when a flush runs — at ``max_batch`` rows,
         at the ``flush_interval`` deadline (or the next loop tick
@@ -280,7 +283,7 @@ class AsyncBatchScheduler:
         awaiting never *forces* a flush: concurrent ``predict`` calls
         coalesce instead of racing each other's batches.
         """
-        ticket = await self.submit(x, n_samples=n_samples)
+        ticket = await self.submit(x, n_samples=n_samples, model=model)
         return await ticket.result()
 
     async def flush(self) -> int:
@@ -447,16 +450,18 @@ class AsyncBatchScheduler:
             self._autoscale_step()
 
     def _run_flush(self, batch: List[_Request]) -> Dict[int, object]:
-        """Executor-side flush body: group by T, reuse the sync
-        scheduler's engine/sharding hooks, feed the metrics."""
+        """Executor-side flush body: group by (model, T), reuse the
+        sync scheduler's engine/sharding/registry hooks, feed the
+        metrics (per-model collectors are fed inside
+        ``_run_group_safe``)."""
         scheduler = self.scheduler
         resolved: Dict[int, object] = {}
-        for n_samples, requests in \
+        for (model_id, n_samples), requests in \
                 scheduler._group_requests(batch).items():
             rows = sum(r.x.shape[0] for r in requests)
             t0 = time.perf_counter()
             resolved.update(
-                scheduler._run_group_safe(requests, n_samples))
+                scheduler._run_group_safe(requests, n_samples, model_id))
             latency = time.perf_counter() - t0
             self.stats.flushes += 1
             if len(requests) > 1:

@@ -121,6 +121,22 @@ class Autoscaler:
         self.scale_downs = 0
         self.replenish_spares()
 
+    @classmethod
+    def from_snapshot(cls, scheduler, snapshot_path: str,
+                      **kwargs) -> "Autoscaler":
+        """An autoscaler whose replicas rehydrate from a saved
+        :class:`~repro.cim.snapshot.DeploymentSnapshot`.
+
+        The artifact is loaded and verified once, up front; every
+        replica spin-up then calls the snapshot's ``build`` — direct
+        state installation, no retraining and no recompilation — which
+        is what makes warm-spare replenishment cheap enough to run
+        between flushes.
+        """
+        from repro.cim.snapshot import snapshot_engine_factory
+        return cls(scheduler, snapshot_engine_factory(snapshot_path),
+                   **kwargs)
+
     # ------------------------------------------------------------------
     @property
     def n_replicas(self) -> int:

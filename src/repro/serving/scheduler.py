@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,11 +59,16 @@ class SchedulerStats:
 
 @dataclasses.dataclass
 class _Request:
-    """One submitted request waiting for its flush."""
+    """One submitted request waiting for its flush.
+
+    ``model_id`` names a :class:`~repro.serving.registry.ModelRegistry`
+    entry; ``None`` means the scheduler's own default engine.
+    """
 
     seq: int
     x: np.ndarray
     n_samples: int
+    model_id: Optional[str] = None
 
 
 class _FailedResult:
@@ -164,13 +170,27 @@ class BatchScheduler:
         this long, bounding tail latency under light traffic.  Call
         :meth:`close` (or use the scheduler as a context manager) to
         cancel the timer on shutdown.
+    registry:
+        Optional :class:`~repro.serving.registry.ModelRegistry`.  When
+        set, requests may name a registered model via ``submit(x,
+        model=...)`` and one scheduler fleet serves every tenant:
+        pending requests group by ``(model, T)``, each group runs on
+        its own (lazily loaded) engine, and every group's flush is
+        recorded in that model's :class:`~repro.serving.metrics.
+        LoadMetrics`.  ``engine`` may then be ``None``, making every
+        request name a model explicitly.
+    default_model:
+        Registry model-id used for requests that do not name a model.
+        Requires ``registry``; mutually exclusive with ``engine``.
     """
 
-    def __init__(self, engine, n_samples: int = 20, max_batch: int = 64,
+    def __init__(self, engine=None, n_samples: int = 20,
+                 max_batch: int = 64,
                  chunk_passes: Optional[int] = None,
                  feature_shape: Optional[tuple] = None,
                  max_retained_results: int = 1024,
-                 flush_interval: Optional[float] = None):
+                 flush_interval: Optional[float] = None,
+                 registry=None, default_model: Optional[str] = None):
         if n_samples < 1:
             raise ValueError("need at least one MC sample")
         if max_batch < 1:
@@ -179,7 +199,19 @@ class BatchScheduler:
             raise ValueError("max_retained_results must be positive")
         if flush_interval is not None and flush_interval <= 0:
             raise ValueError("flush_interval must be positive")
+        if engine is None and registry is None:
+            raise ValueError(
+                "need an engine or a registry (or both) to serve from")
+        if default_model is not None:
+            if registry is None:
+                raise ValueError("default_model requires a registry")
+            if engine is not None:
+                raise ValueError(
+                    "pass either a default engine or a default_model, "
+                    "not both")
         self.engine = engine
+        self.registry = registry
+        self.default_model = default_model
         self.n_samples = n_samples
         self.max_batch = max_batch
         self.chunk_passes = chunk_passes
@@ -200,21 +232,30 @@ class BatchScheduler:
         # oldest degrade to the generic "already consumed" message
         # rather than growing memory forever.
         self._evicted_seqs: dict[int, None] = {}
-        self._feature_shape: Optional[tuple] = (
-            None if feature_shape is None else tuple(feature_shape))
+        # Per-sample input shape, keyed by model-id (None = the
+        # default engine / default_model route).  Shapes are pinned by
+        # the constructor argument, by the registry entry, or inferred
+        # from a route's first request.
+        self._feature_shapes: Dict[Optional[str], tuple] = {}
+        if feature_shape is not None:
+            self._feature_shapes[None] = tuple(feature_shape)
         self._next_seq = 0
         self._timer: Optional[threading.Timer] = None
         self._closed = False
 
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray,
-               n_samples: Optional[int] = None) -> PendingPrediction:
+               n_samples: Optional[int] = None,
+               model: Optional[str] = None) -> PendingPrediction:
         """Enqueue a request: ``x`` is (n, …features) or (…features,).
 
         ``n_samples`` overrides the scheduler default for this request
-        only.  Returns a :class:`PendingPrediction` that resolves once
-        the request's batch is flushed (automatically at ``max_batch``
-        rows, after ``flush_interval`` seconds, or on :meth:`flush` /
+        only.  ``model`` routes the request to a registered model
+        (requires a ``registry``); omitted, it goes to the default
+        engine or ``default_model``.  Returns a
+        :class:`PendingPrediction` that resolves once the request's
+        batch is flushed (automatically at ``max_batch`` rows, after
+        ``flush_interval`` seconds, or on :meth:`flush` /
         ``result()``).
 
         Raises
@@ -222,14 +263,18 @@ class BatchScheduler:
         ValueError
             For an empty request, a feature-shape mismatch, an
             ambiguous multi-dimensional first request without
-            ``feature_shape``, or ``n_samples < 1``.
+            ``feature_shape``, a ``model`` without a registry,
+            or ``n_samples < 1``.
+        KeyError
+            For a ``model`` the registry does not know.
         """
         with self._lock:
-            x, n_samples = self._normalize_request(x, n_samples)
+            x, n_samples, model_id = self._normalize_request(
+                x, n_samples, model)
             seq = self._next_seq
             self._next_seq += 1
             was_empty = not self._pending
-            self._pending.append(_Request(seq, x, n_samples))
+            self._pending.append(_Request(seq, x, n_samples, model_id))
             self._pending_rows += x.shape[0]
             self.stats.requests += 1
             self.stats.rows += x.shape[0]
@@ -242,23 +287,38 @@ class BatchScheduler:
             return ticket
 
     def _normalize_request(self, x: np.ndarray,
-                           n_samples: Optional[int]) -> tuple:
-        """Validate one request; return the batched array and its T.
+                           n_samples: Optional[int],
+                           model: Optional[str] = None) -> tuple:
+        """Validate one request; return its batched array, T, and
+        model-id (``None`` for the default-engine route).
 
         Shared by the synchronous :meth:`submit` and the async
         front-end (:class:`~repro.serving.async_frontend.
         AsyncBatchScheduler`), so both enforce identical feature-shape
-        inference and per-request sample-count rules.  Takes the
-        scheduler lock (re-entrant) because it may fix
-        ``_feature_shape`` from the first request.
+        inference, model routing, and per-request sample-count rules.
+        Takes the scheduler lock (re-entrant) because it may fix a
+        route's feature shape from its first request.
         """
         if n_samples is None:
             n_samples = self.n_samples
         if n_samples < 1:
             raise ValueError("need at least one MC sample")
+        if model is None:
+            model = self.default_model
+        if model is not None and self.registry is None:
+            raise ValueError(
+                f"request names model {model!r} but the scheduler has "
+                f"no registry")
         x = np.asarray(x, dtype=np.float64)
         with self._lock:
-            if self._feature_shape is None:
+            shape = self._feature_shapes.get(model)
+            if shape is None and model is not None:
+                # Raises KeyError for an unknown model — reject it at
+                # submit time rather than at flush.
+                shape = self.registry.feature_shape(model)
+                if shape is not None:
+                    self._feature_shapes[model] = shape
+            if shape is None:
                 if x.ndim > 2:
                     raise ValueError(
                         f"cannot infer the feature shape from a first "
@@ -268,19 +328,22 @@ class BatchScheduler:
                         f"inputs.  Construct the scheduler with "
                         f"feature_shape=, e.g. "
                         f"BatchScheduler(engine, feature_shape="
-                        f"{tuple(x.shape[1:])})")
+                        f"{tuple(x.shape[1:])}), or register the model "
+                        f"with feature_shape=")
                 if x.ndim < 2:
                     x = x[None]
-                self._feature_shape = x.shape[1:]
-            elif x.shape == self._feature_shape:
+                shape = x.shape[1:]
+                self._feature_shapes[model] = shape
+            elif x.shape == shape:
                 x = x[None]          # single unbatched sample
-            if x.shape[1:] != self._feature_shape:
+            if x.shape[1:] != shape:
                 raise ValueError(
-                    f"request features {x.shape[1:]} != scheduler "
-                    f"features {self._feature_shape}")
+                    f"request features {x.shape[1:]} != "
+                    f"{'model ' + repr(model) if model else 'scheduler'}"
+                    f" features {shape}")
             if x.shape[0] == 0:
                 raise ValueError("empty request")
-        return x, n_samples
+        return x, n_samples, model
 
     def flush(self) -> int:
         """Run batched MC over everything pending (one call per T).
@@ -342,8 +405,9 @@ class BatchScheduler:
             return 0
         batch, self._pending = self._pending, []
         self._pending_rows = 0
-        for n_samples, requests in self._group_requests(batch).items():
-            resolved = self._run_group_safe(requests, n_samples)
+        for (model_id, n_samples), requests in \
+                self._group_requests(batch).items():
+            resolved = self._run_group_safe(requests, n_samples, model_id)
             self.stats.flushes += 1
             if len(requests) > 1:
                 self.stats.coalesced_rows += sum(
@@ -362,38 +426,66 @@ class BatchScheduler:
 
     @staticmethod
     def _group_requests(batch: List[_Request]
-                        ) -> Dict[int, List[_Request]]:
-        """Group a flush batch by requested sample count.
+                        ) -> Dict[Tuple[Optional[str], int],
+                                  List[_Request]]:
+        """Group a flush batch by ``(model, sample count)``.
 
         Each group is one engine call whose samples every member
         shares, exactly as a direct ``mc_forward_batched`` over the
-        group's concatenated inputs.  Insertion-ordered (groups run in
-        arrival order of their first member), so a seeded replay of
-        the same submissions reproduces the engine-call sequence —
-        the async front-end reuses this helper to keep that guarantee.
+        group's concatenated inputs — per-model T-grouping, so a
+        mixed-tenant flush never blends two models' rows into one
+        engine call.  Insertion-ordered (groups run in arrival order
+        of their first member), so a seeded replay of the same
+        submissions reproduces the engine-call sequence — the async
+        front-end reuses this helper to keep that guarantee.
         """
-        groups: Dict[int, List[_Request]] = {}
+        groups: Dict[Tuple[Optional[str], int], List[_Request]] = {}
         for request in batch:
-            groups.setdefault(request.n_samples, []).append(request)
+            key = (request.model_id, request.n_samples)
+            groups.setdefault(key, []).append(request)
         return groups
 
-    def _run_group_safe(self, requests: List[_Request],
-                        n_samples: int) -> Dict[int, object]:
-        """Run one T-group, converting an engine failure into
+    def _run_group_safe(self, requests: List[_Request], n_samples: int,
+                        model_id: Optional[str] = None
+                        ) -> Dict[int, object]:
+        """Run one (model, T)-group, converting an engine failure into
         :class:`_FailedResult` slots for exactly that group's
         requests — a poisoned engine must not wedge sibling groups
-        (their tickets would otherwise stay pending forever)."""
+        (their tickets would otherwise stay pending forever).
+        Registry-routed groups also feed their model's
+        :class:`~repro.serving.metrics.LoadMetrics`."""
+        t0 = time.perf_counter()
         try:
-            return self._run_group(requests, n_samples)
+            resolved = self._run_group(requests, n_samples, model_id)
         except Exception as exc:      # noqa: BLE001 — delivered to tickets
             return {r.seq: _FailedResult(exc) for r in requests}
+        if model_id is not None and self.registry is not None:
+            self.registry.record_flush(
+                model_id, rows=sum(r.x.shape[0] for r in requests),
+                n_requests=len(requests),
+                latency_s=time.perf_counter() - t0)
+        return resolved
 
-    def _run_group(self, requests: List[_Request],
-                   n_samples: int) -> Dict[int, PredictiveResult]:
-        """One engine call over a same-T group; per-request slices."""
+    def _resolve_engine(self, model_id: Optional[str]):
+        """The engine serving one group: the scheduler's own for the
+        default route, else the registry's (lazily loaded)."""
+        if model_id is None:
+            if self.engine is None:
+                raise ValueError(
+                    "scheduler has no default engine; submit with "
+                    "model=")
+            return self.engine
+        return self.registry.engine(model_id)
+
+    def _run_group(self, requests: List[_Request], n_samples: int,
+                   model_id: Optional[str] = None
+                   ) -> Dict[int, PredictiveResult]:
+        """One engine call over a same-(model, T) group; per-request
+        slices."""
+        engine = self._resolve_engine(model_id)
         coalesced = np.concatenate([r.x for r in requests], axis=0)
         self.last_shard_loads = [coalesced.shape[0]]
-        result = self.engine.mc_forward_batched(
+        result = engine.mc_forward_batched(
             coalesced, n_samples=n_samples, chunk_passes=self.chunk_passes)
         return self._slice_group(requests, result)
 

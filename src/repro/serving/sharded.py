@@ -161,15 +161,22 @@ class ShardedScheduler(BatchScheduler):
             loads[target] += request.x.shape[0]
         return shards
 
-    def _run_group(self, requests: List[_Request],
-                   n_samples: int) -> Dict[int, object]:
+    def _run_group(self, requests: List[_Request], n_samples: int,
+                   model_id: Optional[str] = None) -> Dict[int, object]:
         """One same-T group across the replicas; per-request slices.
+
+        Only the default-engine route is sharded — the replicas are
+        copies of one programmed fabric.  A registry-routed group runs
+        on its registered model's own engine via the base scheduler
+        (single call, still coalesced and T-grouped).
 
         A shard whose engine call raises resolves to
         :class:`_FailedResult` slots for exactly its own requests —
         sibling shards (other replicas, and other threads' futures)
         are never left pending.
         """
+        if model_id is not None:
+            return super()._run_group(requests, n_samples, model_id)
         with self._lock:
             engines = list(self.engines)
             pool = self._pool

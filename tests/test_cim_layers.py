@@ -72,6 +72,47 @@ class TestCimLinear:
             CimLinear(np.full((2, 2), 0.5), None, None, _ideal_config(),
                       OpLedger())
 
+    def test_exact_route_is_bit_identical_to_analog(self):
+        # An ideal chain with odd ADC steps takes the exact-integer
+        # float32 route; forcing exact_route=False must reproduce the
+        # same outputs AND the same ledger totals bit-for-bit.
+        w = _binary((10, 300))   # 3 row tiles at max_rows=128
+        la, lb = OpLedger(), OpLedger()
+        fast = CimLinear(w, np.full(10, 0.5), np.arange(10.0),
+                         _ideal_config(max_rows=128), la)
+        slow = CimLinear(w, np.full(10, 0.5), np.arange(10.0),
+                         _ideal_config(max_rows=128), lb)
+        assert fast._exact_ok
+        slow.exact_route = False
+        x = _binary((6, 300))
+        np.testing.assert_array_equal(fast.forward(x), slow.forward(x))
+        assert la.as_dict() == lb.as_dict()
+
+    def test_exact_route_respects_input_mask(self):
+        w = _binary((8, 32))
+        fast = CimLinear(w, None, None, _ideal_config(), OpLedger())
+        slow = CimLinear(w, None, None, _ideal_config(), OpLedger())
+        slow.exact_route = False
+        mask = np.ones(32)
+        mask[::3] = 0.0
+        fast.input_mask = mask
+        slow.input_mask = mask
+        x = _binary((4, 32))
+        np.testing.assert_array_equal(fast.forward(x), slow.forward(x))
+
+    def test_exact_route_disabled_by_nonideal_chain(self):
+        from repro.devices.variability import (
+            DeviceVariability,
+            VariabilityParams,
+        )
+        w = _binary((4, 16))
+        config = _ideal_config()
+        config.variability = DeviceVariability(
+            VariabilityParams(sigma_r=0.05),
+            rng=np.random.default_rng(0))
+        layer = CimLinear(w, None, None, config, OpLedger())
+        assert not layer._exact_ok
+
 
 class TestCimConv2d:
     def test_matches_software_conv(self):

@@ -408,6 +408,82 @@ class TestDropConnectStacked:
         layer.mc_clear_bank()
 
 
+class TestGroupedDropoutConvFusion:
+    """The dropout→conv partial-sum fusion generalized to groups > 1."""
+
+    @staticmethod
+    def _grouped_pair(groups, width=8, n_classes=3, p=0.2, seed=7):
+        from repro.bayesian import Upsample2d
+
+        def make():
+            rng = np.random.default_rng(seed)
+            return nn.Sequential(
+                nn.BinaryConv2d(1, width, 3, padding=1, rng=rng,
+                                binarize_input=True),
+                nn.BatchNorm2d(width),
+                nn.SignActivation(),
+                nn.MaxPool2d(2),
+                SpatialSpinDropout(width, p=p, ideal=True, rng=rng),
+                nn.BinaryConv2d(width, 2 * width, 3, padding=1, rng=rng,
+                                groups=groups),
+                nn.BatchNorm2d(2 * width),
+                nn.SignActivation(),
+                Upsample2d(2),
+                nn.BinaryConv2d(2 * width, n_classes, 3, padding=1,
+                                rng=rng),
+            )
+
+        a, b = make(), make()
+        a.eval()
+        b.eval()
+        return a, b
+
+    @pytest.mark.parametrize("groups", [1, 2, 4])
+    def test_grouped_fusion_is_bit_exact(self, groups):
+        a, b = self._grouped_pair(groups)
+        x = np.random.default_rng(0).standard_normal((3, 1, 16, 16))
+        bat = mc_segment(a, x, n_samples=6, batched=True)
+        seq = mc_segment(b, x, n_samples=6, batched=False)
+        np.testing.assert_array_equal(bat.samples, seq.samples)
+        np.testing.assert_array_equal(bat.probs, seq.probs)
+
+    def test_grouped_plan_engages(self, monkeypatch):
+        # The grouped model must take the fused mask×partials route,
+        # not silently fall back to per-pass convolution.
+        from repro.bayesian import segmentation as seg
+
+        calls = []
+        orig = seg._channel_gated_conv_apply
+
+        def counting(plan, bank_slice):
+            calls.append(bank_slice.shape)
+            return orig(plan, bank_slice)
+
+        monkeypatch.setattr(seg, "_channel_gated_conv_apply", counting)
+        a, _ = self._grouped_pair(groups=4)
+        mc_segment(a, np.random.default_rng(1).standard_normal(
+            (2, 1, 16, 16)), n_samples=4, batched=True)
+        assert calls
+
+    def test_grouped_plan_holds_per_group_partials(self):
+        from repro.bayesian.segmentation import _channel_gated_conv_plan
+
+        a, _ = self._grouped_pair(groups=4, width=8)
+        modules = list(a.modules())
+        drop_idx = next(i for i, m in enumerate(modules)
+                        if isinstance(m, SpatialSpinDropout))
+        base = np.sign(np.random.default_rng(2).standard_normal(
+            (2, 8, 8, 8))).astype(np.float64)
+        plan = _channel_gated_conv_plan(modules[drop_idx:], modules, base)
+        assert plan is not None
+        _, conv, partials, _ = plan
+        assert conv.groups == 4
+        assert len(partials) == 4
+        for slab in partials:
+            assert slab.shape[1] == 8 // 4      # C/G input maps
+            assert slab.shape[2] == 16 // 4     # O/G output maps
+
+
 class TestSegmenterEngineApi:
     def test_engine_exposes_both_paths(self):
         engine = SegmenterEngine(make_bayesian_segmenter(width=4, seed=3))

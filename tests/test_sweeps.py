@@ -170,6 +170,66 @@ class TestRunSweep:
             run_sweep("nope")
 
 
+class TestModelCache:
+    def test_disk_cached_rerun_is_bit_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "models")
+        cold = ModelCache(cache_dir=cache_dir)
+        records_a = run_sweep("tiny", cache=cold)
+        assert cold.hits == 0 and cold.misses > 0
+        warm = ModelCache(cache_dir=cache_dir)
+        records_b = run_sweep("tiny", cache=warm)
+        assert warm.misses == 0
+        assert warm.hits == cold.misses
+        assert records_a == records_b    # restored weights ≡ retrained
+
+    def test_memory_memoization_within_one_cache(self):
+        cache = ModelCache()
+        preset = PRESETS["tiny"]
+        a = cache.get("spindrop", preset)
+        b = cache.get("spindrop", preset)
+        assert a is b
+        assert cache.misses == 1
+
+    def test_preset_change_invalidates_with_log_line(self, tmp_path):
+        import dataclasses
+
+        cache_dir = str(tmp_path / "models")
+        ModelCache(cache_dir=cache_dir).get("spindrop", PRESETS["tiny"])
+        lines = []
+        cache = ModelCache(cache_dir=cache_dir, log=lines.append)
+        changed = dataclasses.replace(PRESETS["tiny"], epochs=3)
+        cache.get("spindrop", changed)
+        assert cache.invalidations == 1 and cache.misses == 1
+        assert any("cache-invalidate spindrop/tiny" in line
+                   and "preset hash changed" in line
+                   and "retraining" in line for line in lines)
+
+    def test_corrupted_entry_invalidates_not_crashes(self, tmp_path):
+        import os
+
+        cache_dir = str(tmp_path / "models")
+        ModelCache(cache_dir=cache_dir).get("spindrop", PRESETS["tiny"])
+        entry = os.path.join(cache_dir, "spindrop-tiny", "arrays.bin")
+        with open(entry, "wb") as fh:
+            fh.write(b"garbage")
+        lines = []
+        cache = ModelCache(cache_dir=cache_dir, log=lines.append)
+        model = cache.get("spindrop", PRESETS["tiny"])
+        assert model is not None
+        assert cache.invalidations == 1
+        assert any("unreadable entry" in line for line in lines)
+
+    def test_stats_reach_store_meta_and_progress(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        lines = []
+        run_sweep("tiny", store=store,
+                  cache_dir=str(tmp_path / "models"), progress=lines.append)
+        assert any("model cache:" in line for line in lines)
+        meta = [json.loads(line)
+                for line in store.meta_path.read_text().splitlines()]
+        assert any("model_cache" in entry for entry in meta)
+
+
 class TestResultsStore:
     RECORD = {"scenario": {"name": "spindrop/clean/d0/v0/none",
                            "family": "spindrop"},
