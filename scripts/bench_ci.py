@@ -26,7 +26,12 @@ submitters polling their tickets) and through the asyncio
 ``AsyncBatchScheduler`` with an ``Autoscaler`` on top, and fails if
 the async front-end's throughput regresses below
 ``--serving-min-ratio`` of the threaded baseline (see
-``docs/benchmarks.md``).
+``docs/benchmarks.md``).  A structural ``serving.degradation``
+scenario additionally drives a control-plane scheduler through an
+injected-latency overload burst and requires adaptive-T shedding to
+kick in (served T below requested, floored at ``t_min``), the p95 to
+recover under the SLO target once the burst drains, full-T service to
+resume, and the under-target control plane to be bit-invisible.
 
 A lifecycle gate (``lifecycle.snapshot_load``) saves a
 realistically-sized deployment — the conv family compiled with device
@@ -101,9 +106,13 @@ from repro.experiments.trend import (  # noqa: E402
 from repro.serving import (  # noqa: E402
     AsyncBatchScheduler,
     Autoscaler,
+    BatchScheduler,
+    ControlPlane,
     LoadMetrics,
     ShardedScheduler,
+    SloPolicy,
 )
+from repro.serving.faults import SlowEngine  # noqa: E402
 
 import asyncio     # noqa: E402
 import threading   # noqa: E402
@@ -161,6 +170,16 @@ SERVING_FLUSH_INTERVAL = 0.004
 SERVING_REPLICAS = 2            # both front-ends start with this many
 SERVING_MAX_REPLICAS = 3        # autoscaler headroom for the async run
 SERVING_REPEATS = 3
+# Degradation scenario: an overload burst (injected per-flush delay)
+# must push the p95 over the SLO target and trigger adaptive-T
+# shedding; once the burst passes, the latency window turns over, p95
+# recovers under target, and service returns to the full requested T.
+DEGRADATION_TARGET_P95_S = 0.030
+DEGRADATION_BURST_DELAY_S = 0.080
+DEGRADATION_BURST_FLUSHES = 4
+DEGRADATION_SAMPLES = 16
+DEGRADATION_T_MIN = 2
+DEGRADATION_WINDOW = 8          # latency ring: how fast p95 forgets
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -564,6 +583,113 @@ def _gate_serving(min_ratio):
     }
 
 
+def _gate_degradation():
+    """Overload burst -> adaptive-T shedding -> full-T recovery.
+
+    Structural serving gate (pass/fail on behaviour, not speed): a
+    control-plane scheduler serves through an injected-latency burst,
+    and the gate requires (1) degradation actually triggered during
+    the burst — results flagged, served T below requested, never below
+    ``t_min``; (2) after the burst the p95 recovers under the SLO
+    target and service returns to the full requested T, undegraded;
+    (3) with the p95 under target the control plane is invisible —
+    full-T results bit-identical to a plain scheduler under the same
+    seed.  Returns the scenario record, or None on failure.
+    """
+    rng = np.random.default_rng(9)
+
+    def burst_delay(call):
+        return (DEGRADATION_BURST_DELAY_S
+                if call < DEGRADATION_BURST_FLUSHES else 0.0)
+
+    inner = _engine()
+    _warm(inner)
+    metrics = LoadMetrics(window=DEGRADATION_WINDOW)
+    plane = ControlPlane(
+        slo=SloPolicy(DEGRADATION_TARGET_P95_S, t_min=DEGRADATION_T_MIN),
+        metrics=metrics)
+    scheduler = BatchScheduler(SlowEngine(inner, delay_s=burst_delay),
+                               n_samples=DEGRADATION_SAMPLES,
+                               max_batch=1024, controlplane=plane)
+
+    served_ts = []
+    degraded_flags = []
+    for _ in range(DEGRADATION_BURST_FLUSHES):
+        ticket = scheduler.submit(rng.standard_normal((2, IN_FEATURES)))
+        scheduler.flush()
+        result = ticket.result()
+        served_ts.append(result.served_samples)
+        degraded_flags.append(result.degraded)
+    burst_p95 = metrics.p95_latency_s()
+    if not any(degraded_flags):
+        print("FAIL: degradation scenario: the overload burst never "
+              "triggered adaptive-T shedding")
+        return None
+    if min(served_ts) < DEGRADATION_T_MIN:
+        print(f"FAIL: degradation scenario: served T fell below "
+              f"t_min={DEGRADATION_T_MIN}")
+        return None
+
+    # Burst over: fast flushes turn the latency window over until the
+    # p95 drops back under target (bounded, so a broken recovery path
+    # fails the gate instead of hanging it).
+    recovery_flushes = 0
+    while metrics.p95_latency_s() > DEGRADATION_TARGET_P95_S \
+            and recovery_flushes < 4 * DEGRADATION_WINDOW:
+        ticket = scheduler.submit(rng.standard_normal((2, IN_FEATURES)))
+        scheduler.flush()
+        ticket.result()
+        recovery_flushes += 1
+    recovered_p95 = metrics.p95_latency_s()
+    final = scheduler.submit(rng.standard_normal((2, IN_FEATURES)))
+    scheduler.flush()
+    final_result = final.result()
+    if recovered_p95 > DEGRADATION_TARGET_P95_S:
+        print(f"FAIL: degradation scenario: p95 "
+              f"{recovered_p95 * 1e3:.1f} ms never recovered under the "
+              f"{DEGRADATION_TARGET_P95_S * 1e3:.1f} ms target")
+        return None
+    if final_result.degraded \
+            or final_result.served_samples != DEGRADATION_SAMPLES:
+        print("FAIL: degradation scenario: full T was not restored "
+              "after the p95 recovered")
+        return None
+
+    # Under-target control plane must be invisible: bit-identical to a
+    # plain scheduler under the same seed.
+    x = rng.standard_normal((3, IN_FEATURES))
+    plain = BatchScheduler(_engine(), n_samples=8, max_batch=1024)
+    governed = BatchScheduler(
+        _engine(), n_samples=8, max_batch=1024,
+        controlplane=ControlPlane(slo=SloPolicy(target_p95_s=1000.0)))
+    plain_ticket, governed_ticket = plain.submit(x), governed.submit(x)
+    plain.flush()
+    governed.flush()
+    if not np.array_equal(plain_ticket.result().samples,
+                          governed_ticket.result().samples):
+        print("FAIL: degradation scenario: an undegraded control-plane "
+              "scheduler is not bit-identical to a plain one")
+        return None
+
+    return {
+        "target_p95_s": DEGRADATION_TARGET_P95_S,
+        "n_samples": DEGRADATION_SAMPLES,
+        "t_min": DEGRADATION_T_MIN,
+        "burst_flushes": DEGRADATION_BURST_FLUSHES,
+        "burst_delay_s": DEGRADATION_BURST_DELAY_S,
+        "burst_p95_s": burst_p95,
+        "degraded_flushes": scheduler.stats.degraded_flushes,
+        "min_served_t": int(min(served_ts)),
+        "shed_passes": plane.slo.shed_passes,
+        "recovery_flushes": recovery_flushes,
+        "recovered_p95_s": recovered_p95,
+        "recovery_ratio": DEGRADATION_TARGET_P95_S / recovered_p95,
+        "full_t_restored": True,
+        "bit_exact_full_t": True,
+        "workload": "injected-latency overload burst, then drain",
+    }
+
+
 def _compare_with_baseline(record, baseline_path, tolerance):
     """Trend gate against a committed baseline record.
 
@@ -678,6 +804,9 @@ def main() -> int:
     mixed_tenant = _gate_mixed_tenant()
     if mixed_tenant is None:
         return 1
+    degradation = _gate_degradation()
+    if degradation is None:
+        return 1
 
     # Top-level keys keep the PR-1 layout (the SpinDrop engine);
     # per-engine sections carry the speedup gates (including the
@@ -689,6 +818,7 @@ def main() -> int:
                          "lifecycle.snapshot_load": lifecycle}
     record["serving"] = serving
     record["serving"]["mixed_tenant"] = mixed_tenant
+    record["serving"]["degradation"] = degradation
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
     compare_failures = []
@@ -723,6 +853,13 @@ def main() -> int:
         print(f"FAIL: async serving throughput below "
               f"{args.serving_min_ratio}x of the threaded baseline")
         failed = True
+    print(f"[degradation] burst p95 {degradation['burst_p95_s'] * 1e3:.1f} "
+          f"ms -> served T down to {degradation['min_served_t']} "
+          f"({degradation['shed_passes']} passes shed)")
+    print(f"[degradation] recovered p95 "
+          f"{degradation['recovered_p95_s'] * 1e3:.1f} ms under the "
+          f"{degradation['target_p95_s'] * 1e3:.1f} ms target after "
+          f"{degradation['recovery_flushes']} flushes; full T restored")
     for message in compare_failures:
         print(f"FAIL: {message}")
         failed = True

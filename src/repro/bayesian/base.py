@@ -28,10 +28,19 @@ class PredictiveResult:
 
     ``probs``: (N, C) predictive mean probabilities.
     ``samples``: (T, N, C) per-pass probabilities (uncertainty source).
+
+    ``served_samples``/``degraded`` are serving-side provenance: the
+    number of MC passes actually run, and whether an SLO control
+    plane shed passes below the request's asked-for T (adaptive-T
+    degradation trades credible-interval width for latency — see
+    :mod:`repro.serving.controlplane`).  Direct engine calls always
+    serve the full requested T (``degraded`` stays ``False``).
     """
 
     probs: np.ndarray
     samples: np.ndarray
+    served_samples: Optional[int] = None    # MC passes actually run
+    degraded: bool = False                  # True when passes were shed
 
     @classmethod
     def from_samples(cls, samples: np.ndarray) -> "PredictiveResult":
@@ -45,7 +54,8 @@ class PredictiveResult:
                 "samples must be (T, N, C): MC axis, batch axis, class "
                 f"axis — got shape {samples.shape}; add the class axis "
                 "(e.g. probs[:, :, None] for a binary/regression head)")
-        return cls(probs=samples.mean(axis=0), samples=samples)
+        return cls(probs=samples.mean(axis=0), samples=samples,
+                   served_samples=int(samples.shape[0]))
 
     @classmethod
     def from_logits(cls, logits: np.ndarray) -> "PredictiveResult":

@@ -187,6 +187,22 @@ def compare_bench_record(record: dict, baseline: dict, tolerance: float,
             failures.append(
                 f"serving throughput ratio regressed to {fresh:.2f}x "
                 f"from banked {banked:.2f}x (> {tolerance:.0%} regression)")
+    base_degradation = base_serving.get("degradation", {})
+    fresh_degradation = record.get("serving", {}).get("degradation", {})
+    if "recovery_ratio" in base_degradation \
+            and "recovery_ratio" in fresh_degradation:
+        # target_p95 / post-burst p95: >= 1 means the fleet recovered
+        # under its SLO; shrinking toward 0 means recovery got slower.
+        fresh = fresh_degradation["recovery_ratio"]
+        banked = base_degradation["recovery_ratio"]
+        ratio = fresh / banked
+        printer(f"[compare] serving.degradation: {fresh:.2f}x vs baseline "
+                f"{banked:.2f}x ({ratio:.2f} of banked)")
+        if ratio < floor:
+            failures.append(
+                f"serving.degradation recovery ratio regressed to "
+                f"{fresh:.2f}x from banked {banked:.2f}x "
+                f"(> {tolerance:.0%} regression)")
     return failures
 
 
@@ -209,4 +225,13 @@ def bench_summary_rows(record: dict, baseline: dict) -> List[List[str]]:
         ratio_s = (f"{fresh_serving / banked_serving:.2f}"
                    if banked_serving else "-")
         rows.append(["serving", banked_s, f"{fresh_serving:.2f}x", ratio_s])
+    fresh_rec = record.get("serving", {}) \
+        .get("degradation", {}).get("recovery_ratio")
+    banked_rec = baseline.get("serving", {}) \
+        .get("degradation", {}).get("recovery_ratio")
+    if fresh_rec is not None:
+        banked_s = f"{banked_rec:.2f}x" if banked_rec is not None else "-"
+        ratio_s = f"{fresh_rec / banked_rec:.2f}" if banked_rec else "-"
+        rows.append(["serving.degradation", banked_s,
+                     f"{fresh_rec:.2f}x", ratio_s])
     return rows

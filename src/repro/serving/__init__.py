@@ -8,6 +8,11 @@ Three front-ends share one coalescing core (see ``docs/serving.md``):
 - :class:`AsyncBatchScheduler` — :mod:`asyncio` coroutines over
   either, with :class:`LoadMetrics` observability and optional
   :class:`Autoscaler`-driven replica scaling.
+
+The SLO-driven control plane (:class:`ControlPlane`) layers replica
+health quarantine, admission control, and adaptive-T degradation over
+any of them; :mod:`repro.serving.faults` provides the deterministic
+fault-injection doubles used to exercise it.
 """
 
 from repro.serving.async_frontend import (
@@ -15,24 +20,43 @@ from repro.serving.async_frontend import (
     AsyncPrediction,
 )
 from repro.serving.autoscale import Autoscaler
-from repro.serving.metrics import LoadMetrics, MetricsSnapshot
+from repro.serving.controlplane import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    ControlPlane,
+    HealthPolicy,
+    ReplicaHealth,
+    SloPolicy,
+)
+from repro.serving.metrics import LoadMetrics, MetricsSnapshot, ModelLatency
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import (
     BatchScheduler,
     PendingPrediction,
+    ResultTimeout,
     SchedulerStats,
 )
 from repro.serving.sharded import ShardedScheduler
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
     "AsyncBatchScheduler",
     "AsyncPrediction",
     "Autoscaler",
     "BatchScheduler",
+    "ControlPlane",
+    "HealthPolicy",
     "LoadMetrics",
     "MetricsSnapshot",
+    "ModelLatency",
     "ModelRegistry",
     "PendingPrediction",
+    "ReplicaHealth",
+    "ResultTimeout",
     "SchedulerStats",
     "ShardedScheduler",
+    "SloPolicy",
 ]

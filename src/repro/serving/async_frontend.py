@@ -234,6 +234,12 @@ class AsyncBatchScheduler:
         ValueError
             For the same invalid requests :meth:`BatchScheduler.
             submit` rejects.
+        AdmissionRejected
+            When the inner scheduler carries an admission controller
+            and this request trips its queue bound or overload
+            watermark.  The check runs *before* the backpressure
+            wait: a rejected request fails fast instead of queueing
+            behind the very backlog that triggered the rejection.
         """
         if self._closed:
             raise RuntimeError("scheduler is closed")
@@ -241,6 +247,10 @@ class AsyncBatchScheduler:
         x, n_samples, model_id = self.scheduler._normalize_request(
             x, n_samples, model)
         rows = x.shape[0]
+        if self.scheduler.admission is not None:
+            self.scheduler.admission.admit(
+                rows, self._pending_rows,
+                p95_supplier=self.metrics.p95_latency_s)
         await self._acquire_rows(rows)
         if self._closed:                 # closed while suspended
             self._release_rows(rows)
@@ -451,9 +461,11 @@ class AsyncBatchScheduler:
 
     def _run_flush(self, batch: List[_Request]) -> Dict[int, object]:
         """Executor-side flush body: group by (model, T), reuse the
-        sync scheduler's engine/sharding/registry hooks, feed the
-        metrics (per-model collectors are fed inside
-        ``_run_group_safe``)."""
+        sync scheduler's engine/sharding/registry/control-plane hooks
+        (``_serve_group`` applies adaptive-T degradation and flags
+        degraded results), feed the metrics — filed under each group's
+        model-id, so a multi-tenant fleet keeps per-model latency
+        windows instead of pooling every tenant into one p95."""
         scheduler = self.scheduler
         resolved: Dict[int, object] = {}
         for (model_id, n_samples), requests in \
@@ -461,14 +473,23 @@ class AsyncBatchScheduler:
             rows = sum(r.x.shape[0] for r in requests)
             t0 = time.perf_counter()
             resolved.update(
-                scheduler._run_group_safe(requests, n_samples, model_id))
+                scheduler._serve_group(requests, n_samples, model_id))
             latency = time.perf_counter() - t0
             self.stats.flushes += 1
             if len(requests) > 1:
                 self.stats.coalesced_rows += rows
-            self.metrics.record_flush(
-                rows=rows, n_requests=len(requests), latency_s=latency,
-                replica_loads=scheduler.last_shard_loads)
+            if self.metrics is not scheduler.metrics:
+                # The inner scheduler feeds its own collector (the
+                # control plane's) inside _run_group_safe; recording
+                # here too would double-count a shared object.
+                self.metrics.record_flush(
+                    rows=rows, n_requests=len(requests), latency_s=latency,
+                    replica_loads=scheduler.last_shard_loads,
+                    model_id=model_id)
+        if scheduler.controlplane is not None:
+            # Same housekeeping the sync flush runs: warm-spare
+            # promotion for replicas quarantined during this flush.
+            scheduler.controlplane.after_flush()
         return resolved
 
     def _autoscale_step(self) -> None:

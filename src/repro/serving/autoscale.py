@@ -23,6 +23,17 @@ Design points:
   in-flight flush; replicas removed on scale-down refill the pool
   (up to ``warm_spares``), and :meth:`Autoscaler.replenish_spares`
   rebuilds the rest off the hot path.
+- **SLO mode** — with a ``target_p95_s``, hot/cold is judged from
+  the observed p95 flush latency against that target instead of the
+  utilization EWMA: the policy scales to what the *user experiences*
+  rather than to how busy the engines look.  The queue watermark
+  still applies (a burst fills the queue before the latency window
+  turns over).
+- **Promotion** — :meth:`Autoscaler.promote_spare` adds a replica
+  *outside* the policy loop: it is how the control plane replaces a
+  quarantined replica's capacity, so it bypasses patience, cooldown,
+  and the ``max_replicas`` check deliberately — replacing lost
+  capacity is not a scale-up.
 
 The policy is deliberately synchronous and side-effect free except
 for the scheduler mutation: drive it by calling :meth:`Autoscaler.
@@ -71,6 +82,16 @@ class Autoscaler:
         Minimum seconds between scaling actions.
     warm_spares:
         Target size of the pre-built engine pool.
+    target_p95_s:
+        Optional latency SLO.  When set, :meth:`step` judges hot /
+        cold from the snapshot's p95 flush latency against this
+        target instead of the utilization EWMA (see
+        ``scale_down_p95_fraction``); per-call ``step(...,
+        target_p95_s=...)`` overrides it for one observation.
+    scale_down_p95_fraction:
+        In SLO mode, scale-down requires the p95 *below* this
+        fraction of the target (with an empty-enough queue) — the
+        hysteresis band of the latency loop.  Must be in (0, 1).
     clock:
         Monotonic time source; injectable for deterministic tests.
     """
@@ -83,6 +104,8 @@ class Autoscaler:
                  scale_up_queue_rows: Optional[float] = None,
                  up_patience: int = 1, down_patience: int = 3,
                  cooldown_s: float = 0.0, warm_spares: int = 1,
+                 target_p95_s: Optional[float] = None,
+                 scale_down_p95_fraction: float = 0.5,
                  clock: Callable[[], float] = time.monotonic):
         if min_replicas < 1:
             raise ValueError("min_replicas must be at least 1")
@@ -98,6 +121,11 @@ class Autoscaler:
             raise ValueError("cooldown_s must be non-negative")
         if warm_spares < 0:
             raise ValueError("warm_spares must be non-negative")
+        if target_p95_s is not None and target_p95_s <= 0:
+            raise ValueError("target_p95_s must be positive")
+        if not 0.0 < scale_down_p95_fraction < 1.0:
+            raise ValueError(
+                "scale_down_p95_fraction must be in (0, 1)")
         self.scheduler = scheduler
         self.engine_factory = engine_factory
         self.metrics = metrics
@@ -112,6 +140,8 @@ class Autoscaler:
         self.down_patience = down_patience
         self.cooldown_s = cooldown_s
         self.warm_spares = warm_spares
+        self.target_p95_s = target_p95_s
+        self.scale_down_p95_fraction = scale_down_p95_fraction
         self._clock = clock
         self._spares: List[object] = []
         self._up_streak = 0
@@ -119,6 +149,7 @@ class Autoscaler:
         self._last_action: Optional[float] = None
         self.scale_ups = 0
         self.scale_downs = 0
+        self.promotions = 0
         self.replenish_spares()
 
     @classmethod
@@ -162,15 +193,39 @@ class Autoscaler:
             built += 1
         return built
 
+    def promote_spare(self) -> object:
+        """Add one replica *now*, outside the policy loop.
+
+        Pops a warm spare (or builds an engine if the pool is empty)
+        and appends it to the scheduler.  This is the control plane's
+        capacity-replacement path for a freshly quarantined replica,
+        so it deliberately skips patience, cooldown, *and* the
+        ``max_replicas`` clamp — the quarantined engine still sits in
+        the replica list (unscheduled) until it re-admits or is
+        removed, and the fleet's *serving* capacity is what must stay
+        level.  It also leaves the policy's streaks and cooldown
+        clock untouched: replacing lost capacity is not a scaling
+        decision and must not delay the next real one.
+
+        Returns the engine that was added.
+        """
+        engine = self._spares.pop() if self._spares else self.engine_factory()
+        self.scheduler.add_replica(engine)
+        self.promotions += 1
+        return engine
+
     # ------------------------------------------------------------------
     def step(self, snapshot: Optional[MetricsSnapshot] = None,
-             queue_rows: Optional[int] = None) -> int:
+             queue_rows: Optional[int] = None,
+             target_p95_s: Optional[float] = None) -> int:
         """Run one policy observation; returns the replica delta.
 
         ``snapshot`` defaults to ``self.metrics.snapshot()``;
         ``queue_rows`` overrides the snapshot's queue depth (the
         async front-end passes its live pending-row count, which is
-        fresher than the last recorded observation).
+        fresher than the last recorded observation); ``target_p95_s``
+        switches this observation to SLO mode (p95 against the
+        target), overriding the constructor-level setting.
 
         Returns ``+1`` (scaled up), ``-1`` (scaled down), or ``0``.
         Out-of-clamp replica counts are corrected first, regardless of
@@ -189,10 +244,24 @@ class Autoscaler:
                  else queue_rows)
         per_replica_queue = queue / max(n, 1)
 
-        hot = (snapshot.utilization >= self.scale_up_utilization
-               or per_replica_queue >= self.scale_up_queue_rows)
-        cold = (snapshot.utilization <= self.scale_down_utilization
-                and per_replica_queue < 1.0)
+        target = (self.target_p95_s if target_p95_s is None
+                  else target_p95_s)
+        if target is not None:
+            if target <= 0:
+                raise ValueError("target_p95_s must be positive")
+            # SLO mode: scale to the latency the clients observe.  A
+            # p95 of 0.0 means the window is empty (no flush yet) —
+            # treat as neither hot nor cold.
+            p95 = snapshot.p95_latency_s
+            hot = (p95 > target
+                   or per_replica_queue >= self.scale_up_queue_rows)
+            cold = (0.0 < p95 < self.scale_down_p95_fraction * target
+                    and per_replica_queue < 1.0)
+        else:
+            hot = (snapshot.utilization >= self.scale_up_utilization
+                   or per_replica_queue >= self.scale_up_queue_rows)
+            cold = (snapshot.utilization <= self.scale_down_utilization
+                    and per_replica_queue < 1.0)
 
         if hot:
             self._down_streak = 0

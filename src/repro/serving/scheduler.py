@@ -26,6 +26,12 @@ lightly-loaded service).
 
 :class:`~repro.serving.sharded.ShardedScheduler` extends the flush
 step to spread one coalesced batch across multiple engine replicas.
+
+An attached :class:`~repro.serving.controlplane.ControlPlane` makes
+the scheduler SLO-aware: submits pass admission control (bounded
+queue, distinct :class:`~repro.serving.controlplane.AdmissionRejected`
+error), and each flush group's T may be degraded under latency
+pressure (adaptive-T; results carry ``served_samples``/``degraded``).
 """
 
 from __future__ import annotations
@@ -38,6 +44,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bayesian.base import PredictiveResult
+from repro.serving.metrics import LoadMetrics
+
+
+class ResultTimeout(RuntimeError):
+    """``result(timeout=...)`` expired before the request resolved.
+
+    The ticket's pending slot is released on the way out: the request
+    is withdrawn from the batch (it will not run) and its rows no
+    longer count against ``max_batch``/admission watermarks, instead
+    of lingering for ``max_retained_results`` LRU eviction.  Retrying
+    the same ticket re-raises this error.
+    """
 
 
 @dataclasses.dataclass
@@ -51,6 +69,8 @@ class SchedulerStats:
     evicted: int = 0             # unclaimed results dropped at the cap
     timer_flushes: int = 0       # flushes triggered by the deadline timer
     shard_calls: int = 0         # per-replica engine calls (sharded scheduler)
+    timeouts: int = 0            # tickets abandoned by result(timeout=...)
+    degraded_flushes: int = 0    # groups served below their requested T
 
     @property
     def mean_rows_per_flush(self) -> float:
@@ -106,13 +126,22 @@ class PendingPrediction:
         """True once the request's flush has run (even if it failed)."""
         return self._scheduler._has_result(self._seq)
 
-    def result(self) -> PredictiveResult:
+    def result(self, timeout: Optional[float] = None) -> PredictiveResult:
         """Return (once) this request's :class:`PredictiveResult`.
 
-        Forces a flush if the request is still pending.
+        With ``timeout=None`` (default) a still-pending request forces
+        an immediate flush.  With a timeout, the call instead *waits*
+        for another flush trigger (the deadline timer, ``max_batch``,
+        or a concurrent ``flush()``) to resolve the request — the
+        polite form for a caller that wants batching to happen — and
+        on expiry withdraws the request entirely (its queue slot is
+        freed; it will not run) and raises :class:`ResultTimeout`.
 
         Raises
         ------
+        ResultTimeout
+            The timeout expired first (and on any retry of the same
+            ticket).
         RuntimeError
             If the result was already consumed, or was evicted past
             ``max_retained_results``.
@@ -120,7 +149,7 @@ class PendingPrediction:
             If the engine call serving this request raised, the
             original exception is re-raised with its traceback.
         """
-        return self._scheduler._resolve(self._seq)
+        return self._scheduler._resolve(self._seq, timeout)
 
 
 class BatchScheduler:
@@ -182,6 +211,27 @@ class BatchScheduler:
     default_model:
         Registry model-id used for requests that do not name a model.
         Requires ``registry``; mutually exclusive with ``engine``.
+    metrics:
+        Optional :class:`~repro.serving.metrics.LoadMetrics` fed one
+        record per successful engine flush (with per-model windows on
+        registry routes) plus queue-depth observations — giving the
+        *sync* front-ends the observability the async front-end
+        always had.  Defaults to the control plane's collector when
+        one is attached.
+    admission:
+        Optional bounded-queue policy applied on every ``submit()``:
+        an :class:`~repro.serving.controlplane.AdmissionPolicy` (or a
+        prepared :class:`~repro.serving.controlplane.
+        AdmissionController`) that rejects with
+        :class:`~repro.serving.controlplane.AdmissionRejected` once
+        pending rows cross its watermarks, instead of letting the
+        queue grow without bound.  Defaults to the control plane's
+        admission controller when one is attached.
+    controlplane:
+        Optional :class:`~repro.serving.controlplane.ControlPlane`
+        binding this scheduler to SLO machinery: admission control on
+        submit, adaptive-T degradation per flush group, and (for
+        sharded schedulers) replica health quarantine.
     """
 
     def __init__(self, engine=None, n_samples: int = 20,
@@ -190,7 +240,9 @@ class BatchScheduler:
                  feature_shape: Optional[tuple] = None,
                  max_retained_results: int = 1024,
                  flush_interval: Optional[float] = None,
-                 registry=None, default_model: Optional[str] = None):
+                 registry=None, default_model: Optional[str] = None,
+                 metrics: Optional[LoadMetrics] = None,
+                 admission=None, controlplane=None):
         if n_samples < 1:
             raise ValueError("need at least one MC sample")
         if max_batch < 1:
@@ -217,8 +269,31 @@ class BatchScheduler:
         self.chunk_passes = chunk_passes
         self.max_retained_results = max_retained_results
         self.flush_interval = flush_interval
+        self.controlplane = controlplane
+        if controlplane is not None:
+            controlplane.bind(self)
+            if metrics is None:
+                metrics = controlplane.metrics
+            if admission is None:
+                admission = controlplane.admission
+        self.metrics = metrics
+        if admission is not None:
+            from repro.serving.controlplane import (
+                AdmissionController,
+                AdmissionPolicy,
+            )
+            if isinstance(admission, AdmissionPolicy):
+                admission = AdmissionController(admission)
+            elif not hasattr(admission, "admit"):
+                raise ValueError(
+                    "admission must be an AdmissionController or an "
+                    "AdmissionPolicy")
+        self.admission = admission
         self.stats = SchedulerStats()
         self._lock = threading.RLock()
+        # Signalled after every flush; result(timeout=...) waits on it
+        # instead of force-flushing.
+        self._cond = threading.Condition(self._lock)
         self._pending: List[_Request] = []
         self._pending_rows = 0
         # Rows served by each engine replica in the most recent engine
@@ -232,6 +307,9 @@ class BatchScheduler:
         # oldest degrade to the generic "already consumed" message
         # rather than growing memory forever.
         self._evicted_seqs: dict[int, None] = {}
+        # Tickets withdrawn by result(timeout=...) — bounded like the
+        # evicted set; retrying one re-raises ResultTimeout.
+        self._timed_out_seqs: dict[int, None] = {}
         # Per-sample input shape, keyed by model-id (None = the
         # default engine / default_model route).  Shapes are pinned by
         # the constructor argument, by the registry entry, or inferred
@@ -267,10 +345,17 @@ class BatchScheduler:
             or ``n_samples < 1``.
         KeyError
             For a ``model`` the registry does not know.
+        AdmissionRejected
+            When an admission policy is attached and the request
+            crosses its queue/latency watermarks (it is never
+            enqueued).
         """
         with self._lock:
             x, n_samples, model_id = self._normalize_request(
                 x, n_samples, model)
+            if self.admission is not None:
+                self.admission.admit(
+                    x.shape[0], self._pending_rows, self._observed_p95)
             seq = self._next_seq
             self._next_seq += 1
             was_empty = not self._pending
@@ -278,6 +363,8 @@ class BatchScheduler:
             self._pending_rows += x.shape[0]
             self.stats.requests += 1
             self.stats.rows += x.shape[0]
+            if self.metrics is not None:
+                self.metrics.observe_queue_depth(self._pending_rows)
             ticket = PendingPrediction(self, seq, x.shape[0], n_samples)
             if self._pending_rows >= self.max_batch:
                 self._flush_locked()
@@ -399,15 +486,22 @@ class BatchScheduler:
                 self._flush_locked()
 
     # ------------------------------------------------------------------
+    def _observed_p95(self) -> float:
+        """p95 flush latency for admission decisions (0 if untracked)."""
+        return self.metrics.p95_latency_s() if self.metrics is not None \
+            else 0.0
+
     def _flush_locked(self) -> int:
         self._cancel_timer_locked()
         if not self._pending:
             return 0
         batch, self._pending = self._pending, []
         self._pending_rows = 0
+        if self.metrics is not None:
+            self.metrics.observe_queue_depth(0)
         for (model_id, n_samples), requests in \
                 self._group_requests(batch).items():
-            resolved = self._run_group_safe(requests, n_samples, model_id)
+            resolved = self._serve_group(requests, n_samples, model_id)
             self.stats.flushes += 1
             if len(requests) > 1:
                 self.stats.coalesced_rows += sum(
@@ -422,7 +516,34 @@ class BatchScheduler:
             self.stats.evicted += 1
         while len(self._evicted_seqs) > 4 * self.max_retained_results:
             del self._evicted_seqs[next(iter(self._evicted_seqs))]
+        if self.controlplane is not None:
+            self.controlplane.after_flush()
+        self._cond.notify_all()
         return len(batch)
+
+    def _serve_group(self, requests: List[_Request], requested_t: int,
+                     model_id: Optional[str] = None) -> Dict[int, object]:
+        """Run one (model, T)-group at its SLO-adjusted sample count.
+
+        The control plane may shed MC passes under latency pressure
+        (adaptive-T): the group then runs at ``served_t <
+        requested_t`` and every resolved result is flagged
+        ``degraded`` (``served_samples`` already carries the actual
+        pass count).  Without a control plane — or with the p95 under
+        target — the group runs exactly as requested, keeping results
+        bit-identical to a plain scheduler.  Shared by the sync flush
+        and the async front-end's executor flush.
+        """
+        served_t = requested_t
+        if self.controlplane is not None:
+            served_t = self.controlplane.served_t(requested_t)
+        resolved = self._run_group_safe(requests, served_t, model_id)
+        if served_t != requested_t:
+            self.stats.degraded_flushes += 1
+            for value in resolved.values():
+                if isinstance(value, PredictiveResult):
+                    value.degraded = True
+        return resolved
 
     @staticmethod
     def _group_requests(batch: List[_Request]
@@ -453,17 +574,24 @@ class BatchScheduler:
         requests — a poisoned engine must not wedge sibling groups
         (their tickets would otherwise stay pending forever).
         Registry-routed groups also feed their model's
-        :class:`~repro.serving.metrics.LoadMetrics`."""
+        :class:`~repro.serving.metrics.LoadMetrics`, and every
+        successful group feeds the scheduler's own ``metrics``
+        collector (when attached) under its model-id window."""
         t0 = time.perf_counter()
         try:
             resolved = self._run_group(requests, n_samples, model_id)
         except Exception as exc:      # noqa: BLE001 — delivered to tickets
             return {r.seq: _FailedResult(exc) for r in requests}
+        latency_s = time.perf_counter() - t0
+        rows = sum(r.x.shape[0] for r in requests)
+        if self.metrics is not None:
+            self.metrics.record_flush(
+                rows=rows, n_requests=len(requests), latency_s=latency_s,
+                replica_loads=self.last_shard_loads, model_id=model_id)
         if model_id is not None and self.registry is not None:
             self.registry.record_flush(
-                model_id, rows=sum(r.x.shape[0] for r in requests),
-                n_requests=len(requests),
-                latency_s=time.perf_counter() - t0)
+                model_id, rows=rows, n_requests=len(requests),
+                latency_s=latency_s)
         return resolved
 
     def _resolve_engine(self, model_id: Optional[str]):
@@ -521,15 +649,26 @@ class BatchScheduler:
         with self._lock:
             return seq in self._results
 
-    def _resolve(self, seq: int) -> PredictiveResult:
+    def _resolve(self, seq: int,
+                 timeout: Optional[float] = None) -> PredictiveResult:
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         with self._lock:
-            if seq not in self._results and any(
-                    r.seq == seq for r in self._pending):
-                # Only force a flush when this ticket's request is
-                # genuinely still pending — resolving a consumed or
-                # evicted ticket must not disturb unrelated requests.
-                self._flush_locked()
+            if timeout is None:
+                if seq not in self._results and any(
+                        r.seq == seq for r in self._pending):
+                    # Only force a flush when this ticket's request is
+                    # genuinely still pending — resolving a consumed or
+                    # evicted ticket must not disturb unrelated
+                    # requests.
+                    self._flush_locked()
+            else:
+                self._wait_for_result_locked(seq, timeout)
             if seq not in self._results:
+                if seq in self._timed_out_seqs:
+                    raise ResultTimeout(
+                        f"request {seq} was withdrawn by an earlier "
+                        f"result(timeout=...) expiry")
                 if seq in self._evicted_seqs:
                     raise RuntimeError(
                         f"result for request {seq} was evicted: it "
@@ -544,3 +683,38 @@ class BatchScheduler:
             # intact) outside the lock.
             raise value.exc
         return value
+
+    def _wait_for_result_locked(self, seq: int, timeout: float) -> None:
+        """Wait (without forcing a flush) until ``seq`` resolves.
+
+        Relies on the deadline timer / ``max_batch`` / concurrent
+        ``flush()`` calls to run the batch; the condition variable is
+        signalled after every flush.  On expiry the request is
+        withdrawn from the pending batch — freeing its rows for
+        ``max_batch`` and admission accounting immediately, rather
+        than parking an unclaimed result for LRU eviction — and the
+        caller raises :class:`ResultTimeout` via the ordinary
+        missing-result path.
+        """
+        deadline = time.monotonic() + timeout
+        while seq not in self._results:
+            if not any(r.seq == seq for r in self._pending):
+                return               # resolved+consumed, evicted, or gone
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for i, request in enumerate(self._pending):
+                    if request.seq == seq:
+                        del self._pending[i]
+                        self._pending_rows -= request.x.shape[0]
+                        if self.metrics is not None:
+                            self.metrics.observe_queue_depth(
+                                self._pending_rows)
+                        break
+                self._timed_out_seqs[seq] = None
+                while len(self._timed_out_seqs) > \
+                        4 * self.max_retained_results:
+                    del self._timed_out_seqs[
+                        next(iter(self._timed_out_seqs))]
+                self.stats.timeouts += 1
+                return
+            self._cond.wait(remaining)

@@ -26,6 +26,7 @@ shards resolve normally.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -88,10 +89,13 @@ class ShardedScheduler(BatchScheduler):
             self._ensure_pool_locked()
             return len(self.engines)
 
-    def remove_replica(self):
-        """Drop and return the most recently added replica.
+    def remove_replica(self, engine=None):
+        """Drop and return a replica (the most recent by default).
 
-        The returned engine is no longer scheduled new shards (it may
+        ``engine`` removes that *specific* replica instead — the
+        control plane uses this to evict a quarantined engine, which,
+        unlike a scale-down pop, may sit anywhere in the list.  The
+        returned engine is no longer scheduled new shards (it may
         still be finishing one, which completes normally) and can be
         kept as a warm spare for a later :meth:`add_replica`.
 
@@ -99,13 +103,20 @@ class ShardedScheduler(BatchScheduler):
         ------
         ValueError
             When only one replica remains — a scheduler always keeps
-            at least one engine.
+            at least one engine — or when ``engine`` is not a current
+            replica.
         """
         with self._lock:
             if len(self.engines) <= 1:
                 raise ValueError(
                     "cannot remove the last engine replica")
-            return self.engines.pop()
+            if engine is None:
+                return self.engines.pop()
+            for i, candidate in enumerate(self.engines):
+                if candidate is engine:
+                    return self.engines.pop(i)
+            raise ValueError(
+                "engine is not a replica of this scheduler")
 
     def close(self) -> None:
         """Flush pending requests and shut down the shard pools."""
@@ -174,12 +185,23 @@ class ShardedScheduler(BatchScheduler):
         :class:`_FailedResult` slots for exactly its own requests —
         sibling shards (other replicas, and other threads' futures)
         are never left pending.
+
+        With a control plane attached, the replica snapshot is first
+        filtered through its health state (quarantined replicas get no
+        shards; an elapsed backoff turns this flush into the probe),
+        and every shard call reports its outcome — success latency or
+        failure — back to the plane.  The report takes only the
+        plane's own lock, so pool workers never touch the scheduler
+        lock the flushing thread is holding.
         """
         if model_id is not None:
             return super()._run_group(requests, n_samples, model_id)
         with self._lock:
             engines = list(self.engines)
             pool = self._pool
+        controlplane = self.controlplane
+        if controlplane is not None:
+            engines = controlplane.eligible_engines(engines)
         shards = self._partition(requests, len(engines))
         self.last_shard_loads = [sum(r.x.shape[0] for r in shard)
                                  for shard in shards]
@@ -187,14 +209,24 @@ class ShardedScheduler(BatchScheduler):
                     for engine, shard in zip(engines, shards) if shard]
 
         def run_shard(engine, shard: List[_Request]) -> Dict[int, object]:
+            rows = sum(r.x.shape[0] for r in shard)
+            t0 = time.perf_counter()
             try:
                 coalesced = np.concatenate([r.x for r in shard], axis=0)
                 result = engine.mc_forward_batched(
                     coalesced, n_samples=n_samples,
                     chunk_passes=self.chunk_passes)
-                return self._slice_group(shard, result)
+                resolved = self._slice_group(shard, result)
             except Exception as exc:  # noqa: BLE001 — delivered per ticket
+                if controlplane is not None:
+                    controlplane.record_outcome(
+                        engine, ok=False, rows=rows, error=exc)
                 return {r.seq: _FailedResult(exc) for r in shard}
+            if controlplane is not None:
+                controlplane.record_outcome(
+                    engine, ok=True, rows=rows,
+                    latency_s=time.perf_counter() - t0)
+            return resolved
 
         self.stats.shard_calls += len(occupied)
         resolved: Dict[int, object] = {}

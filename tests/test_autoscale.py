@@ -315,3 +315,162 @@ class TestSchedulerIntegration:
         deltas = [scaler.step(drained) for _ in range(3)]
         assert -1 in deltas
         assert sharded.n_replicas == 1
+
+
+class TestPerModelMetrics:
+    def test_flushes_file_under_their_model_window(self):
+        clock = FakeClock()
+        metrics = LoadMetrics(clock=clock, throughput_window_s=10.0)
+        for latency in (0.010, 0.020):
+            clock.advance(0.1)
+            metrics.record_flush(rows=4, n_requests=1, latency_s=latency,
+                                 model_id="mlp")
+        clock.advance(0.1)
+        metrics.record_flush(rows=8, n_requests=2, latency_s=0.200,
+                             model_id="segmenter")
+        s = metrics.snapshot()
+        assert set(s.per_model) == {"mlp", "segmenter"}
+        mlp, seg = s.per_model["mlp"], s.per_model["segmenter"]
+        assert mlp.flushes == 2 and mlp.requests == 2 and mlp.rows == 8
+        assert seg.flushes == 1 and seg.rows == 8
+        # The slow segmenter no longer hides inside one pooled p95.
+        assert mlp.p95_latency_s == pytest.approx(0.0195)
+        assert seg.p95_latency_s == pytest.approx(0.200)
+        # The top-level window still pools everything.
+        assert s.p95_latency_s > mlp.p95_latency_s
+
+    def test_anonymous_flushes_stay_out_of_per_model(self):
+        metrics = LoadMetrics()
+        metrics.record_flush(rows=2, n_requests=1, latency_s=0.01)
+        assert metrics.snapshot().per_model == {}
+
+    def test_p95_accessor_matches_snapshot(self):
+        metrics = LoadMetrics()
+        for latency in (0.01, 0.02, 0.03):
+            metrics.record_flush(rows=1, n_requests=1, latency_s=latency)
+        assert metrics.p95_latency_s() == pytest.approx(
+            metrics.snapshot().p95_latency_s)
+
+
+class TestSloModeScaling:
+    def _scaler(self, scheduler=None, **kwargs):
+        kwargs.setdefault("warm_spares", 0)
+        return Autoscaler(scheduler or FakeScheduler(),
+                          engine_factory=object, **kwargs)
+
+    def _snap(self, p95, queue_depth=0):
+        return MetricsSnapshot(p95_latency_s=p95, queue_depth=queue_depth)
+
+    def test_p95_over_target_scales_up(self):
+        scaler = self._scaler(max_replicas=3, target_p95_s=0.050)
+        assert scaler.step(self._snap(p95=0.120)) == 1
+
+    def test_p95_under_half_target_scales_down(self):
+        scaler = self._scaler(FakeScheduler(n=3), max_replicas=3,
+                              target_p95_s=0.050, down_patience=1)
+        assert scaler.step(self._snap(p95=0.010)) == -1
+
+    def test_band_between_holds(self):
+        scaler = self._scaler(FakeScheduler(n=2), max_replicas=4,
+                              target_p95_s=0.050, up_patience=1,
+                              down_patience=1)
+        for _ in range(5):
+            assert scaler.step(self._snap(p95=0.040)) == 0
+        assert scaler.n_replicas == 2
+
+    def test_empty_latency_window_is_not_cold(self):
+        scaler = self._scaler(FakeScheduler(n=2), max_replicas=4,
+                              target_p95_s=0.050, down_patience=1)
+        assert scaler.step(self._snap(p95=0.0)) == 0
+
+    def test_per_step_target_overrides_utilization_mode(self):
+        scaler = self._scaler(max_replicas=3)
+        breached = MetricsSnapshot(p95_latency_s=0.2, utilization=0.1)
+        assert scaler.step(breached) == 0                 # EWMA mode: cold-ish
+        assert scaler.step(breached, target_p95_s=0.05) == 1
+
+    def test_queue_watermark_still_applies_in_slo_mode(self):
+        scaler = self._scaler(max_replicas=2, target_p95_s=1.0,
+                              scale_up_queue_rows=10)
+        assert scaler.step(self._snap(p95=0.001, queue_depth=50)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._scaler(target_p95_s=0.0)
+        with pytest.raises(ValueError):
+            self._scaler(scale_down_p95_fraction=1.0)
+        scaler = self._scaler()
+        with pytest.raises(ValueError):
+            scaler.step(snap(), target_p95_s=-1.0)
+
+
+class TestPromotion:
+    def test_promote_spare_bypasses_patience_cooldown_and_clamp(self):
+        clock = FakeClock()
+        scheduler = FakeScheduler(n=2)
+        scaler = Autoscaler(scheduler, object, max_replicas=2,
+                            warm_spares=1, cooldown_s=100.0, clock=clock)
+        engine = scaler.promote_spare()
+        assert engine is not None
+        assert scheduler.n_replicas == 3      # past max_replicas: the
+        assert scaler.promotions == 1         # quarantined one still sits
+        assert scaler.spare_count == 0        # in the list, unscheduled
+        # Promotion is not a scaling action: no cooldown was started,
+        # so the next genuine policy action fires immediately (here
+        # the out-of-clamp correction back under max_replicas).
+        assert scaler._last_action is None
+        assert scaler.step(snap(utilization=0.0)) == -1
+        assert scheduler.n_replicas == 2
+        assert scaler.scale_ups == 0
+
+    def test_promote_builds_when_pool_is_empty(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return object()
+
+        scaler = Autoscaler(FakeScheduler(), factory, warm_spares=0)
+        assert calls == []
+        scaler.promote_spare()
+        assert len(calls) == 1
+
+    def test_replenish_after_quarantined_replica_removed_mid_cooldown(self):
+        """A quarantined replica evicted while the policy is cooling
+        down must still be replaceable: replenish_spares rebuilds the
+        pool regardless of cooldown, and the next promotion uses it."""
+        clock = FakeClock()
+        sharded = ShardedScheduler(
+            [_engine(seed=5), _engine(seed=6)], parallel=False)
+        built = []
+
+        def factory():
+            built.append(1)
+            return _engine(seed=7 + len(built))
+
+        scaler = Autoscaler(sharded, factory, max_replicas=3,
+                            warm_spares=1, cooldown_s=1000.0, clock=clock)
+        assert len(built) == 1                # pool primed at construction
+        # A scaling action starts the long cooldown window.
+        assert scaler.step(snap(utilization=0.95)) == 1
+        assert sharded.n_replicas == 3
+
+        # Mid-cooldown, the control plane evicts a quarantined replica.
+        bad = sharded.engines[1]
+        sharded.remove_replica(bad)
+        assert sharded.n_replicas == 2
+
+        # Cooldown blocks the *policy*...
+        assert scaler.step(snap(utilization=0.95)) == 0
+        # ...but not spare replenishment or capacity replacement.
+        assert scaler.replenish_spares() == 1
+        assert scaler.spare_count == 1
+        scaler.promote_spare()
+        assert sharded.n_replicas == 3
+        assert scaler.spare_count == 0
+        # The restored fleet actually serves.
+        tickets = [sharded.submit(RNG.standard_normal((2, 12)))
+                   for _ in range(3)]
+        sharded.flush()
+        for ticket in tickets:
+            assert ticket.result().probs.shape == (2, 3)

@@ -394,3 +394,78 @@ class TestMultiDimFeatures:
         scheduler.flush()
         assert first.result().probs.shape == (2, 4)
         assert single.result().probs.shape == (1, 4)
+
+
+class TestResultTimeout:
+    """result(timeout=...) waits politely, then withdraws the request."""
+
+    def test_timeout_resolves_when_another_trigger_flushes(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64)
+        ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+
+        flusher = threading.Timer(0.05, scheduler.flush)
+        flusher.start()
+        try:
+            result = ticket.result(timeout=5.0)
+        finally:
+            flusher.cancel()
+        assert result.probs.shape == (2, 3)
+        assert scheduler.stats.timeouts == 0
+
+    def test_expiry_raises_and_frees_the_queue_slot(self, engine):
+        from repro.serving import ResultTimeout
+
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64)
+        abandoned = scheduler.submit(RNG.standard_normal((3, 12)))
+        assert scheduler.pending_rows == 3
+        with pytest.raises(ResultTimeout):
+            abandoned.result(timeout=0.01)
+        # Withdrawn entirely: its rows no longer count toward the
+        # batch, and it will never run.
+        assert scheduler.pending_rows == 0
+        assert scheduler.stats.timeouts == 1
+
+        # Retrying the same ticket re-raises (no silent hang).
+        with pytest.raises(ResultTimeout):
+            abandoned.result(timeout=0.01)
+        with pytest.raises(ResultTimeout):
+            abandoned.result()               # even without a timeout
+
+        # The scheduler keeps serving; the withdrawn rows are gone.
+        later = scheduler.submit(RNG.standard_normal((2, 12)))
+        scheduler.flush()
+        assert later.result().probs.shape == (2, 3)
+        assert scheduler.stats.flushes == 1  # only the later request ran
+
+    def test_timeout_does_not_force_a_flush(self, engine):
+        from repro.serving import ResultTimeout
+
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64)
+        waiting = scheduler.submit(RNG.standard_normal((2, 12)))
+        sibling = scheduler.submit(RNG.standard_normal((1, 12)))
+        with pytest.raises(ResultTimeout):
+            waiting.result(timeout=0.02)
+        # The sibling stayed queued — a timed wait never flushes.
+        assert scheduler.stats.flushes == 0
+        assert scheduler.pending_rows == 1
+        scheduler.flush()
+        assert sibling.result().probs.shape == (1, 3)
+
+    def test_deadline_timer_still_serves_timed_waiters(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2, max_batch=64,
+                                   flush_interval=0.02)
+        with scheduler:
+            ticket = scheduler.submit(RNG.standard_normal((2, 12)))
+            result = ticket.result(timeout=5.0)
+        assert result.probs.shape == (2, 3)
+        assert scheduler.stats.timer_flushes == 1
+
+    def test_invalid_timeout_rejected(self, engine):
+        scheduler = BatchScheduler(engine, n_samples=2)
+        ticket = scheduler.submit(RNG.standard_normal((1, 12)))
+        with pytest.raises(ValueError):
+            ticket.result(timeout=0.0)
+        with pytest.raises(ValueError):
+            ticket.result(timeout=-1.0)
+        scheduler.flush()
+        assert ticket.result().probs.shape == (1, 3)

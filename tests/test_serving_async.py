@@ -14,6 +14,7 @@ from repro.serving import (
     LoadMetrics,
     ShardedScheduler,
 )
+from repro.serving.faults import PoisonEngine
 
 RNG = np.random.default_rng(23)
 
@@ -21,13 +22,6 @@ RNG = np.random.default_rng(23)
 def _engine(seed=9):
     model = make_spindrop_mlp(12, (8,), 3, p=0.3, seed=2)
     return BayesianCim(model, CimConfig(seed=4), seed=seed)
-
-
-class _PoisonEngine:
-    """Engine replica whose every call fails."""
-
-    def mc_forward_batched(self, x, n_samples=10, chunk_passes=None):
-        raise RuntimeError("boom: poisoned replica")
 
 
 def run(coro):
@@ -267,7 +261,7 @@ class TestFailureIsolation:
         """Async view of the sharded error-isolation fix: the poisoned
         replica's ticket raises the original error, siblings resolve."""
         async def go():
-            inner = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+            inner = ShardedScheduler([_engine(seed=5), PoisonEngine()],
                                      n_samples=3, parallel=False)
             async with AsyncBatchScheduler(inner) as frontend:
                 # Greedy row balance: req0 (2 rows) -> replica0,
@@ -285,7 +279,7 @@ class TestFailureIsolation:
 
     def test_whole_flush_failure_rejects_every_ticket(self):
         async def go():
-            inner = BatchScheduler(_PoisonEngine(), n_samples=3,
+            inner = BatchScheduler(PoisonEngine(), n_samples=3,
                                    feature_shape=(12,))
             async with AsyncBatchScheduler(inner) as frontend:
                 t1 = await frontend.submit(RNG.standard_normal((2, 12)))

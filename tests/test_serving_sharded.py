@@ -6,6 +6,7 @@ import pytest
 from repro.bayesian import BayesianCim, make_spindrop_mlp
 from repro.cim import CimConfig
 from repro.serving import BatchScheduler, ShardedScheduler
+from repro.serving.faults import PoisonEngine
 
 RNG = np.random.default_rng(17)
 
@@ -94,20 +95,13 @@ class TestSharding:
         assert rows == [4, 4]
 
 
-class _PoisonEngine:
-    """Replica whose every engine call fails."""
-
-    def mc_forward_batched(self, x, n_samples=10, chunk_passes=None):
-        raise RuntimeError("boom: poisoned replica")
-
-
 class TestShardFailureIsolation:
     """Regression: a replica failure used to abort the whole flush,
     leaving *sibling* shards' tickets pending forever."""
 
     @pytest.mark.parametrize("parallel", [False, True])
     def test_poisoned_replica_fails_only_its_own_tickets(self, parallel):
-        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+        sharded = ShardedScheduler([_engine(seed=5), PoisonEngine()],
                                    n_samples=3, parallel=parallel)
         # Greedy row balance: req0 (2 rows) -> replica0, req1 (3 rows)
         # -> poisoned replica1, req2 (1 row) -> replica0.
@@ -123,7 +117,7 @@ class TestShardFailureIsolation:
             bad.result()
 
     def test_failure_carries_the_original_traceback(self):
-        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+        sharded = ShardedScheduler([_engine(seed=5), PoisonEngine()],
                                    n_samples=3, parallel=False)
         sharded.submit(RNG.standard_normal((2, 12)))
         bad = sharded.submit(RNG.standard_normal((3, 12)))
@@ -135,7 +129,7 @@ class TestShardFailureIsolation:
         assert "mc_forward_batched" in frames    # the engine frame
 
     def test_scheduler_keeps_serving_after_a_shard_failure(self):
-        sharded = ShardedScheduler([_engine(seed=5), _PoisonEngine()],
+        sharded = ShardedScheduler([_engine(seed=5), PoisonEngine()],
                                    n_samples=2, parallel=False)
         sharded.submit(RNG.standard_normal((2, 12)))
         bad = sharded.submit(RNG.standard_normal((3, 12)))
@@ -143,7 +137,7 @@ class TestShardFailureIsolation:
         with pytest.raises(RuntimeError, match="boom"):
             bad.result()
         # Replace the poisoned replica; traffic resumes.
-        assert sharded.remove_replica().__class__ is _PoisonEngine
+        assert sharded.remove_replica().__class__ is PoisonEngine
         sharded.add_replica(_engine(seed=6))
         later = sharded.submit(RNG.standard_normal((2, 12)))
         sharded.flush()
