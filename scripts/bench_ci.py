@@ -20,6 +20,15 @@ conv chain gate at ``--spindrop-min-speedup`` /
 baselines share the same fast kernels — ``CimLinear``'s
 exact-integer route serves the per-pass loop too).
 
+Two kernel-substrate gates (``engines.bitpack_mvm`` and
+``engines.bitpack_linear``) time the bit-packed XNOR/popcount route
+(:mod:`repro.tensor.bitpack`) against the float32 exact-integer route
+it shadows, on the memory-bound small-batch × wide-matrix shapes the
+packed kernel exists for.  Both verify bit-exactness first — the raw
+kernel against the float GEMV, and a forced-``use_bitpack``
+:class:`CimLinear` against its own float route including op-ledger
+totals — and fail below ``--bitpack-min-speedup`` (default 4×).
+
 A serving-level gate replays the same Poisson arrival workload
 through the threaded ``ShardedScheduler`` (thread-per-client
 submitters polling their tickets) and through the asyncio
@@ -152,6 +161,14 @@ CIM_CONV_BATCH = 4
 CIM_CONV_SIZE = 16
 CIM_CONV_WIDTHS = (8, 16)
 CIM_CONV_SAMPLES = 10
+# Bit-packed XNOR kernel slice: the packed route's win is the
+# memory-bound regime (a small batch of wordline drives against a
+# wide packed matrix, 64x less weight traffic).  The raw-kernel gate
+# times the widest shape; the layer gate runs a forced-use_bitpack
+# CimLinear on a single 4096-row crossbar (ADC step 131, odd, so the
+# exact-integer precondition holds) against its own float32 route.
+BITPACK_MVM_SHAPE = (2, 4096, 4096)       # batch, K, n_cols
+BITPACK_LINEAR_SHAPE = (2, 4096, 2048)    # batch, in, out
 # Lifecycle slice: snapshot restore vs recompile is only worth gating
 # on the deployment snapshots exist to freeze — a non-ideal fabric
 # (conductance variability + programming defects) whose compile draws
@@ -312,6 +329,97 @@ def _gate_segmentation(min_speedup):
         "model": (f"bayesian_segmenter width=8 p=0.15 "
                   f"{SEG_SIZE}x{SEG_SIZE}"),
     }
+
+
+def _gate_bitpack(min_speedup):
+    """Bit-exactness + timed gates for the packed XNOR kernel.
+
+    Returns ``(bitpack_mvm, bitpack_linear)`` records, or None on an
+    exactness failure.  Weights are packed outside the timed region —
+    exactly the deployment contract (program/compile/snapshot packs
+    once, serving never does).
+    """
+    from repro.cim import OpLedger
+    from repro.cim.layers import CimLinear
+    from repro.tensor import bitpack
+
+    rng = np.random.default_rng(11)
+
+    # Raw kernel vs the float32 GEMV it replaces.
+    b, k, c = BITPACK_MVM_SHAPE
+    x = np.sign(rng.standard_normal((b, k)))
+    x[x == 0] = 1.0
+    x[rng.random((b, k)) < 0.1] = 0.0       # some gated wordlines
+    w = np.sign(rng.standard_normal((k, c)))
+    w[w == 0] = 1.0
+    w32_t = np.ascontiguousarray(w.T.astype(np.float32))
+    packed_w = bitpack.pack_weights(w)
+    x32 = x.astype(np.float32)
+    ref = x32 @ w32_t.T
+    got = bitpack.packed_mvm(bitpack.pack_ternary_rows(x), packed_w)
+    if not np.array_equal(ref, got):
+        print("FAIL: packed XNOR kernel differs from the float GEMV")
+        return None
+    float_s = _best_of(lambda: x32 @ w32_t.T, REPEATS)
+    packed_s = _best_of(
+        lambda: bitpack.packed_mvm(bitpack.pack_ternary_rows(x), packed_w),
+        REPEATS)
+    mvm_record = {
+        "batch": b,
+        "k": k,
+        "n_cols": c,
+        "repeats": REPEATS,
+        "sequential_s": float_s,
+        "batched_s": packed_s,
+        "speedup": float_s / packed_s,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+        "popcount_backend": bitpack.popcount_backend(),
+        "model": f"packed_mvm {b}x{k} @ {k}x{c} vs float32 GEMV",
+    }
+
+    # A deployed CimLinear with the route forced on vs forced off:
+    # same outputs bit-for-bit, same ledger totals, gated speedup.
+    b, k, c = BITPACK_LINEAR_SHAPE
+    w = np.sign(rng.standard_normal((c, k)))
+    w[w == 0] = 1.0
+    layer = CimLinear(w, None, None,
+                      CimConfig(seed=0, max_rows=k, max_cols=c),
+                      OpLedger())
+    layer.ledger.reset()            # drop programming's mtj_write entries
+    x = np.sign(rng.standard_normal((b, k)))
+    x[x == 0] = 1.0
+    layer.use_bitpack = False
+    float_out = layer.forward(x)
+    float_ledger = layer.ledger.as_dict()
+    layer.ledger.reset()
+    layer.use_bitpack = True
+    packed_out = layer.forward(x)           # also warms the packed cache
+    packed_ledger = layer.ledger.as_dict()
+    if not np.array_equal(float_out, packed_out):
+        print("FAIL: CimLinear packed route differs from the float route")
+        return None
+    if float_ledger != packed_ledger:
+        print("FAIL: CimLinear packed route books different ledger totals")
+        return None
+    packed_s = _best_of(lambda: layer.forward(x), REPEATS)
+    layer.use_bitpack = False
+    float_s = _best_of(lambda: layer.forward(x), REPEATS)
+    linear_record = {
+        "batch": b,
+        "k": k,
+        "n_cols": c,
+        "repeats": REPEATS,
+        "sequential_s": float_s,
+        "batched_s": packed_s,
+        "speedup": float_s / packed_s,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+        "popcount_backend": bitpack.popcount_backend(),
+        "model": f"CimLinear {k}->{c} batch {b} forced use_bitpack "
+                 "vs float exact route",
+    }
+    return mvm_record, linear_record
 
 
 def _lifecycle_engine() -> BayesianCim:
@@ -733,6 +841,13 @@ def main() -> int:
                         help="gate for the deployed conv chain, whose "
                              "sequential baseline shares the fast kernels "
                              "(default 2.0, env BENCH_CIM_CONV_MIN_SPEEDUP)")
+    parser.add_argument("--bitpack-min-speedup", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_BITPACK_MIN_SPEEDUP", 4.0)),
+                        help="gate for the bit-packed XNOR kernel vs the "
+                             "float32 exact route on its memory-bound "
+                             "serving shapes (default 4.0, env "
+                             "BENCH_BITPACK_MIN_SPEEDUP)")
     parser.add_argument("--lifecycle-min-speedup", type=float,
                         default=float(os.environ.get(
                             "BENCH_LIFECYCLE_MIN_SPEEDUP", 5.0)),
@@ -796,6 +911,11 @@ def main() -> int:
                          f"{CIM_CONV_SIZE}x{CIM_CONV_SIZE} widths="
                          f"{'-'.join(map(str, CIM_CONV_WIDTHS))}")
 
+    bitpack_gates = _gate_bitpack(args.bitpack_min_speedup)
+    if bitpack_gates is None:
+        return 1
+    bitpack_mvm, bitpack_linear = bitpack_gates
+
     lifecycle = _gate_lifecycle(args.lifecycle_min_speedup)
     if lifecycle is None:
         return 1
@@ -815,6 +935,8 @@ def main() -> int:
     record = dict(spindrop)
     record["engines"] = {"spindrop": spindrop, "spinbayes": spinbayes,
                          "segmentation": segmentation, "cim_conv": cim_conv,
+                         "bitpack_mvm": bitpack_mvm,
+                         "bitpack_linear": bitpack_linear,
                          "lifecycle.snapshot_load": lifecycle}
     record["serving"] = serving
     record["serving"]["mixed_tenant"] = mixed_tenant

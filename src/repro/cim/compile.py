@@ -109,6 +109,11 @@ def compile_to_cim(model: nn.Sequential,
     Raises ``TypeError`` for layers with no deployed equivalent (e.g.
     full-precision ``Linear`` — spintronic CIM stores binary weights
     only, paper Sec. II-D).
+
+    With ``config.use_bitpack`` set, the bit-packed weight planes of
+    every crossbar are built here, once, so serving never pays the
+    pack cost (reprogramming a crossbar invalidates its planes and the
+    next packed MVM rebuilds them).
     """
     config = config or CimConfig()
     ledger = OpLedger()
@@ -117,7 +122,13 @@ def compile_to_cim(model: nn.Sequential,
         stage = _deploy_layer(layer, config, ledger)
         if stage is not None:
             stages.append(stage)
-    return CimNetwork(stages, ledger, config)
+    network = CimNetwork(stages, ledger, config)
+    if config.use_bitpack:
+        for stage in network.mvm_layers():
+            for row in stage.crossbars:
+                for bar in row:
+                    bar.packed_weights_t()
+    return network
 
 
 def _deploy_layer(layer: nn.Module, config: CimConfig,

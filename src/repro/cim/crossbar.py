@@ -33,6 +33,7 @@ from repro.cim.ledger import OpLedger
 from repro.devices.defects import DefectModel
 from repro.devices.mtj import MTJParams
 from repro.devices.variability import DeviceVariability
+from repro.tensor import bitpack
 
 
 def split_leading_axes(x: np.ndarray, feature_ndim: int):
@@ -90,6 +91,7 @@ class XnorCrossbar:
         self._g_direct: Optional[np.ndarray] = None
         self._g_complement: Optional[np.ndarray] = None
         self._w_signed_t: Optional[np.ndarray] = None
+        self._w_packed_t: Optional[bitpack.PackedWeights] = None
 
     @property
     def is_ideal(self) -> bool:
@@ -127,9 +129,21 @@ class XnorCrossbar:
             g_complement = self.variability.perturb_conductances(g_complement)
         self._g_direct = g_direct
         self._g_complement = g_complement
-        self._w_signed_t = None          # re-derived on next fast-route use
+        self._invalidate_operand_caches()
         # Two MTJ writes per logical weight (direct + complement cell).
         self.ledger.add("mtj_write", 2 * weights.size)
+
+    def _invalidate_operand_caches(self) -> None:
+        """Drop every operand derived from the stored matrix.
+
+        MUST be called by anything that changes conductance state
+        (programming, state install, post-deployment fault injection):
+        the float32 signed operand and the packed sign planes are both
+        pure functions of ``_weights``, and a stale cached copy would
+        silently serve the *pre-mutation* matrix on the fast routes.
+        """
+        self._w_signed_t = None
+        self._w_packed_t = None
 
     @property
     def programmed_weights(self) -> np.ndarray:
@@ -148,6 +162,64 @@ class XnorCrossbar:
                          np.float32(1.0), np.float32(-1.0))
             self._w_signed_t = np.ascontiguousarray(w.T)
         return self._w_signed_t
+
+    def packed_weights_t(self) -> bitpack.PackedWeights:
+        """Cached bit-packed sign planes of the stored weights —
+        ``(ceil(n_rows/64), n_cols)`` uint64, the operand of
+        :meth:`mvm_packed`.  Packed once per programming (or installed
+        verbatim from a snapshot) and invalidated alongside the float
+        operand whenever conductance state changes."""
+        if self._w_packed_t is None:
+            self._w_packed_t = bitpack.pack_weights(self.programmed_weights)
+        return self._w_packed_t
+
+    def mvm_packed(self, planes: "bitpack.PackedPlanes",
+                   out: Optional[np.ndarray] = None,
+                   col_major: bool = False) -> np.ndarray:
+        """Exact-integer XNOR MVM on pre-packed wordline planes.
+
+        The bit-packed twin of :meth:`mvm_prepared` / :meth:`mvm_cols`:
+        ``planes`` holds the packed sign/active bitplanes of the drive
+        batch (see :func:`repro.tensor.bitpack.pack_ternary_rows`), and
+        the popcount kernel returns the decoded integer MAC directly —
+        valid only on an ideal array, where that integer is exactly
+        what the analog chain would decode (the same precondition as
+        the layers' exact-integer route).  Ledger bookings match the
+        analog entry points: one :meth:`book_mvm` of the summed
+        asserted-wordline count.
+        """
+        if not self.is_ideal:
+            raise RuntimeError(
+                "packed XNOR route requires an ideal array "
+                "(no variability, no wire resistance)")
+        mac = bitpack.packed_mvm(planes, self.packed_weights_t(),
+                                 out=out, col_major=col_major)
+        self.book_mvm(int(planes.n_active.sum()))
+        return mac
+
+    def inject_defects(self, defects: DefectModel) -> None:
+        """Corrupt the already-programmed array in place.
+
+        Post-deployment fault injection (retention failures over a
+        deployment lifetime, the self-healing experiments' mutation):
+        the stored ±1 matrix is re-drawn through the defect model and
+        the affected cells' conductances are pinned to their nominal
+        stuck values; unaffected cells keep their programmed
+        (variability-perturbed) conductances.  Invalidate-on-mutate:
+        the cached fast-route operands are dropped so the float32 and
+        packed routes re-derive the *post-fault* matrix.
+        """
+        if self._weights is None:
+            raise RuntimeError("crossbar not programmed")
+        corrupted = defects.apply_to_binary_weights(self._weights)
+        flipped = corrupted != self._weights
+        g_p, g_ap = self.params.g_p, self.params.g_ap
+        self._weights = corrupted
+        self._g_direct = np.where(
+            flipped, np.where(corrupted > 0, g_p, g_ap), self._g_direct)
+        self._g_complement = np.where(
+            flipped, np.where(corrupted > 0, g_ap, g_p), self._g_complement)
+        self._invalidate_operand_caches()
 
     def book_mvm(self, total_active: int) -> None:
         """Book one batched MVM's ledger entries.
@@ -171,11 +243,19 @@ class XnorCrossbar:
         """
         if self._weights is None:
             raise RuntimeError("crossbar not programmed")
-        return {
+        state = {
             "weights": self._weights,
             "g_direct": self._g_direct,
             "g_complement": self._g_complement,
         }
+        if self._w_packed_t is not None:
+            # Packed sign planes ride along — but only when the packed
+            # route materialized them — so a snapshot restore installs
+            # the fast-route operand instead of re-packing, while
+            # float-route deployments don't pay for an operand they
+            # never use (the planes would cost load time per array).
+            state["w_packed_t"] = self._w_packed_t.sign_t
+        return state
 
     def load_state(self, state: dict) -> None:
         """Install captured conductance state without re-programming."""
@@ -187,7 +267,16 @@ class XnorCrossbar:
         self._g_direct = np.asarray(state["g_direct"], dtype=np.float64)
         self._g_complement = np.asarray(state["g_complement"],
                                         dtype=np.float64)
-        self._w_signed_t = None
+        self._invalidate_operand_caches()
+        packed = state.get("w_packed_t")
+        if packed is not None:
+            planes = np.ascontiguousarray(packed, dtype=np.uint64)
+            expected = ((self.n_rows + bitpack.LANE - 1) // bitpack.LANE,
+                        self.n_cols)
+            if planes.shape != expected:
+                raise ValueError(
+                    f"packed plane shape {planes.shape} != {expected}")
+            self._w_packed_t = bitpack.PackedWeights(planes, self.n_rows)
 
     # ------------------------------------------------------------------
     def _ir_drop_factor(self, n_active: np.ndarray) -> np.ndarray:

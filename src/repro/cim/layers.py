@@ -29,6 +29,7 @@ from repro.cim.mapping import ConvShape, MappingPlan, MappingStrategy, plan_conv
 from repro.devices.defects import DefectModel
 from repro.devices.mtj import MTJParams
 from repro.devices.variability import DeviceVariability
+from repro.tensor import bitpack
 from repro.tensor.functional import (
     _conv_scratch_buffers,
     _gather_padded_patches,
@@ -47,6 +48,7 @@ class CimConfig:
                  max_cols: int = 128,
                  wire_resistance: float = 0.0,
                  mapping_strategy: MappingStrategy = MappingStrategy.UNFOLDED_COLUMN,
+                 use_bitpack: Optional[bool] = None,
                  seed: Optional[int] = None):
         self.mtj_params = mtj_params or MTJParams()
         self.variability = variability
@@ -56,6 +58,10 @@ class CimConfig:
         self.max_cols = max_cols
         self.wire_resistance = wire_resistance
         self.mapping_strategy = mapping_strategy
+        # Deployment-wide default for the layers' bit-packed XNOR
+        # route: None = auto (per-shape heuristic), True = force the
+        # packed kernel, False = always the float32 exact route.
+        self.use_bitpack = use_bitpack
         self.rng = np.random.default_rng(seed)
 
 
@@ -90,6 +96,14 @@ class CimLinear(CimLayer):
     on a rounding tie — so the float32 GEMM is bit-identical to the
     analog simulation (and books the same ledger entries).  Set
     ``exact_route = False`` to force the analog path.
+
+    Inside the exact route, ``use_bitpack`` selects the bit-packed
+    XNOR/popcount kernel (:mod:`repro.tensor.bitpack`): ``None``
+    defers to a per-shape heuristic (packed wins only on small-batch
+    × wide-matrix MVMs), ``True`` forces it, ``False`` pins the
+    float32 GEMM.  Both produce bit-identical outputs and identical
+    ledger totals — the packed kernel computes the same integer MAC
+    the float route does, just 64 weights per word of traffic.
 
     ``program=False`` builds the crossbar grid without programming it
     (no RNG draws, no ``mtj_write`` bookings) so captured conductance
@@ -137,6 +151,11 @@ class CimLinear(CimLayer):
                                          ledger=ledger))
 
         self.exact_route = True      # opt-out switch (tests, benches)
+        # Bit-packed XNOR route inside the exact route: None defers to
+        # the per-shape heuristic, True forces the packed kernel,
+        # False pins the float32 GEMM.  Mirrors ``exact_route`` so the
+        # differential tests can flip it per layer.
+        self.use_bitpack: Optional[bool] = config.use_bitpack
         self._exact_ok = (
             all(bar.is_ideal for row in self.crossbars for bar in row)
             and all(adc.step % 2 == 1 for adc in self.adcs))
@@ -153,6 +172,7 @@ class CimLinear(CimLayer):
             "out_features": self.out_features,
             "in_features": self.in_features,
             "exact_route": bool(self.exact_route),
+            "use_bitpack": self.use_bitpack,
         }
         arrays = {}
         if self.scale is not None:
@@ -179,8 +199,10 @@ class CimLinear(CimLayer):
                     "weights": arrays[f"xb{i}_{j}_weights"],
                     "g_direct": arrays[f"xb{i}_{j}_g_direct"],
                     "g_complement": arrays[f"xb{i}_{j}_g_complement"],
+                    "w_packed_t": arrays.get(f"xb{i}_{j}_w_packed_t"),
                 })
         self.exact_route = bool(meta["exact_route"])
+        self.use_bitpack = meta.get("use_bitpack")
         return self
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -200,12 +222,22 @@ class CimLinear(CimLayer):
                         ).astype(np.float64)
                 chunk = chunk * gate
             if exact:
-                chunk32 = chunk.astype(np.float32)
-                total_active = int(np.count_nonzero(chunk32))
-                for j, (c0, c1) in enumerate(self.col_chunks):
-                    bar = self.crossbars[i][j]
-                    partial[:, c0:c1] = chunk32 @ bar.signed_weights_t().T
-                    bar.book_mvm(total_active)
+                packed = self.use_bitpack
+                if packed is None:
+                    packed = bitpack.packed_route_beneficial(
+                        chunk.shape[0], r1 - r0, self.out_features)
+                if packed:
+                    planes = bitpack.pack_ternary_rows(chunk)
+                    for j, (c0, c1) in enumerate(self.col_chunks):
+                        self.crossbars[i][j].mvm_packed(
+                            planes, out=partial[:, c0:c1])
+                else:
+                    chunk32 = chunk.astype(np.float32)
+                    total_active = int(np.count_nonzero(chunk32))
+                    for j, (c0, c1) in enumerate(self.col_chunks):
+                        bar = self.crossbars[i][j]
+                        partial[:, c0:c1] = chunk32 @ bar.signed_weights_t().T
+                        bar.book_mvm(total_active)
             else:
                 pos = (chunk > 0).astype(np.float64)
                 neg = (chunk < 0).astype(np.float64)
@@ -250,7 +282,11 @@ class CimConv2d(CimLayer):
     deviation from the integer is ~1e-13 of float64 decode noise.
     (An even step *can* tie exactly at odd MACs, where that noise
     would decide the rounding — such layers stay on the analog path.)
-    Set ``exact_route = False`` to force the analog path.
+    Set ``exact_route = False`` to force the analog path; within the
+    exact route ``use_bitpack`` (None/True/False, as in
+    :class:`CimLinear`) selects the bit-packed XNOR kernel, which
+    packs the im2col patch slab column-major and yields the same
+    integer partial sums bit for bit.
 
     ``channel_mask`` (settable per pass, shape (C_in,)) gates all
     wordline groups / sub-crossbars belonging to an input feature map —
@@ -320,6 +356,8 @@ class CimConv2d(CimLayer):
                                              ledger=ledger))
 
         self.exact_route = True      # opt-out switch (tests, benches)
+        # Same tri-state as CimLinear.use_bitpack (None/True/False).
+        self.use_bitpack: Optional[bool] = config.use_bitpack
         self._exact_ok = (
             all(bar.is_ideal for row in self.crossbars for bar in row)
             and all(adc.step % 2 == 1 for adc in self.adcs))
@@ -337,6 +375,7 @@ class CimConv2d(CimLayer):
             "dilation": self.dilation,
             "groups": self.groups,
             "exact_route": bool(self.exact_route),
+            "use_bitpack": self.use_bitpack,
         }
         arrays = {}
         if self.scale is not None:
@@ -366,8 +405,10 @@ class CimConv2d(CimLayer):
                     "weights": arrays[f"xb{f}_{j}_weights"],
                     "g_direct": arrays[f"xb{f}_{j}_g_direct"],
                     "g_complement": arrays[f"xb{f}_{j}_g_complement"],
+                    "w_packed_t": arrays.get(f"xb{f}_{j}_w_packed_t"),
                 })
         self.exact_route = bool(meta["exact_route"])
+        self.use_bitpack = meta.get("use_bitpack")
         return self
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -410,11 +451,21 @@ class CimConv2d(CimLayer):
                 chunk = patches[g * rows_pg + r0:g * rows_pg + r1]
                 bars = self.crossbars[g * n_rc + i]
                 if exact:
-                    total_active = int(np.count_nonzero(chunk))
-                    for j, (c0, c1) in enumerate(self.plan.col_chunks):
-                        np.matmul(bars[j].signed_weights_t(), chunk,
-                                  out=partial[c0:c1])
-                        bars[j].book_mvm(total_active)
+                    packed = self.use_bitpack
+                    if packed is None:
+                        packed = bitpack.packed_route_beneficial(
+                            ln, r1 - r0, cog)
+                    if packed:
+                        planes = bitpack.pack_ternary_cols(chunk)
+                        for j, (c0, c1) in enumerate(self.plan.col_chunks):
+                            bars[j].mvm_packed(planes, out=partial[c0:c1],
+                                               col_major=True)
+                    else:
+                        total_active = int(np.count_nonzero(chunk))
+                        for j, (c0, c1) in enumerate(self.plan.col_chunks):
+                            np.matmul(bars[j].signed_weights_t(), chunk,
+                                      out=partial[c0:c1])
+                            bars[j].book_mvm(total_active)
                 else:
                     pos_t = (chunk > 0).astype(np.float64)
                     neg_t = (chunk < 0).astype(np.float64)

@@ -7,8 +7,9 @@ position matters for the bit-exact batched/sequential equivalence the
 test suite pins.  A :class:`DeploymentSnapshot` captures the whole
 post-compile state:
 
-* per-stage crossbar conductances, decoded operands, scale/bias/norm
-  constants (via each stage's ``state_dict``),
+* per-stage crossbar conductances, decoded operands, bit-packed
+  XNOR-kernel weight planes (uint64, see :mod:`repro.tensor.bitpack`),
+  scale/bias/norm constants (via each stage's ``state_dict``),
 * the dropout/arbiter device realizations (Δ draws, effective
   probabilities, cycle counters),
 * the full RNG *sharing topology* — which objects share which

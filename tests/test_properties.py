@@ -7,11 +7,22 @@ generative coverage.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cim import OpLedger, PopcountADC, XnorCrossbar
+from repro.bayesian import (
+    BayesianCim,
+    SegmenterEngine,
+    SpinBayesNetwork,
+    make_bayesian_segmenter,
+    make_spatial_spindrop_cnn,
+    make_spindrop_mlp,
+    make_subset_vi_mlp,
+)
+from repro.cim import CimConfig, OpLedger, PopcountADC, XnorCrossbar
+from repro.cim.snapshot import DeploymentSnapshot
 from repro.devices import MTJParams, SpintronicRNG, switching_probability
-from repro.tensor import Tensor, functional as F
+from repro.tensor import Tensor, bitpack, functional as F
 from repro.uncertainty import predictive_entropy, auroc
 
 
@@ -157,3 +168,118 @@ class TestUncertaintyProperties:
         base = auroc(a, b)
         shifted = auroc(a + shift, b + shift)
         np.testing.assert_allclose(base, shifted, rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Bit-packed XNOR kernel: differential bit-exactness harness.
+#
+# The packed route (repro.tensor.bitpack) must be indistinguishable
+# from the float exact-integer route at every level — the raw kernel
+# against a ±1 matmul for arbitrary operands, and whole deployed
+# engines (all model families) serving the same inputs with the route
+# toggled on vs off: bit-identical samples/probs AND identical
+# op-ledger totals.
+
+class TestPackedKernelProperties:
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_packed_mvm_equals_ternary_matmul(self, b, k, c, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sign(rng.standard_normal((b, k)))
+        x[rng.random((b, k)) < 0.3] = 0.0     # dropout-gated wordlines
+        w = np.sign(rng.standard_normal((k, c)))
+        w[w == 0] = 1.0
+        dots = bitpack.packed_mvm(bitpack.pack_ternary_rows(x),
+                                  bitpack.pack_weights(w))
+        np.testing.assert_array_equal(dots, x @ w)
+
+    @given(st.integers(min_value=1, max_value=130),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_roundtrip_identity(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sign(rng.standard_normal((3, k)))
+        x[rng.random((3, k)) < 0.4] = 0.0
+        planes = bitpack.pack_ternary_rows(x)
+        np.testing.assert_array_equal(bitpack.unpack_ternary(planes), x)
+
+
+X_FLAT = np.random.default_rng(42).standard_normal((6, 20))
+X_IMG = np.random.default_rng(43).standard_normal((3, 1, 12, 12))
+X_SEG = np.random.default_rng(44).standard_normal((2, 1, 16, 16))
+
+
+def _bitpack_engine(family, use_bitpack):
+    """One deployed engine per family with the packed route toggled.
+
+    Model construction and deployment are seeded identically for both
+    toggle values, so any output difference is the kernel's."""
+    if family == "spindrop":
+        model = make_spindrop_mlp(20, (16,), 4, p=0.3, seed=1)
+        return (BayesianCim(model, CimConfig(seed=6,
+                                             use_bitpack=use_bitpack),
+                            seed=33), X_FLAT)
+    if family == "cim_conv":
+        model = make_spatial_spindrop_cnn(1, 12, 4, widths=(4, 8), seed=2)
+        return (BayesianCim(model, CimConfig(seed=6,
+                                             use_bitpack=use_bitpack),
+                            seed=33), X_IMG)
+    if family == "spinbayes":
+        teacher = make_subset_vi_mlp(20, (12,), 4, seed=5)
+        return (SpinBayesNetwork.from_subset_vi(
+            teacher, n_components=4, n_levels=8,
+            config=CimConfig(seed=6, use_bitpack=use_bitpack),
+            seed=7), X_FLAT)
+    if family == "segmenter":
+        model = make_bayesian_segmenter(seed=9)
+        return (SegmenterEngine(model, use_bitpack=use_bitpack), X_SEG)
+    raise ValueError(family)
+
+
+BITPACK_FAMILIES = ("spindrop", "cim_conv", "spinbayes", "segmenter")
+
+
+class TestBitpackDifferential:
+    @pytest.mark.parametrize("family", BITPACK_FAMILIES)
+    def test_packed_route_is_bit_identical(self, family):
+        on, x = _bitpack_engine(family, True)
+        off, _ = _bitpack_engine(family, False)
+        a = on.mc_forward_batched(x, n_samples=4)
+        b = off.mc_forward_batched(x, n_samples=4)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        np.testing.assert_array_equal(a.probs, b.probs)
+        ledger_on = getattr(on, "ledger", None)
+        if ledger_on is not None:
+            assert ledger_on.as_dict() == off.ledger.as_dict()
+
+    def test_packed_route_forced_lut_backend(self):
+        """The whole-engine differential also holds on the LUT
+        fallback — the NumPy-floor CI leg's code path."""
+        with bitpack.force_popcount_backend("lut16"):
+            on, x = _bitpack_engine("spindrop", True)
+            a = on.mc_forward_batched(x, n_samples=3)
+        off, _ = _bitpack_engine("spindrop", False)
+        b = off.mc_forward_batched(x, n_samples=3)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        assert on.ledger.as_dict() == off.ledger.as_dict()
+
+    def test_snapshot_roundtrip_restores_packed_planes(self, tmp_path):
+        """save → load → serve with the packed route: the restored
+        crossbars carry the captured uint64 planes (no re-pack) and
+        the prediction stream continues bit-exactly."""
+        original, x = _bitpack_engine("spindrop", True)
+        path = str(tmp_path / "snap")
+        DeploymentSnapshot.capture(original).save(path)
+        restored = DeploymentSnapshot.load(path).build()
+        for stage in restored.network.mvm_layers():
+            for row in stage.crossbars:
+                for bar in row:
+                    assert bar._w_packed_t is not None
+        a = original.mc_forward_batched(x, n_samples=4)
+        b = restored.mc_forward_batched(x, n_samples=4)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        np.testing.assert_array_equal(a.probs, b.probs)
+        assert original.ledger.as_dict() == restored.ledger.as_dict()
