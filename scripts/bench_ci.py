@@ -187,6 +187,20 @@ SERVING_FLUSH_INTERVAL = 0.004
 SERVING_REPLICAS = 2            # both front-ends start with this many
 SERVING_MAX_REPLICAS = 3        # autoscaler headroom for the async run
 SERVING_REPEATS = 3
+# Process-pool gate: the same snapshot served by 4 threaded replicas
+# vs 4 process-backed replicas (shared-memory row transport) on a
+# mixed-tenant-shaped trace — interleaved request sizes and two
+# request-T classes, so every flush shards two (model, T) groups.
+# Pure-NumPy replicas contend on one GIL when threaded; worker
+# processes don't, so the pool must scale with worker count.  The gate
+# needs real cores: below PROCPOOL_MIN_CORES it records a skip entry
+# (no "speedup" key, which the trend compare ignores) instead of
+# measuring scheduler-starved noise.
+PROCPOOL_WORKERS = 4
+PROCPOOL_MIN_CORES = 4
+PROCPOOL_REQUESTS = 24
+PROCPOOL_SAMPLES = (16, 24)     # the two tenant T classes
+PROCPOOL_REPEATS = 3
 # Degradation scenario: an overload burst (injected per-flush delay)
 # must push the p95 over the SLO target and trigger adaptive-T
 # shedding; once the burst passes, the latency window turns over, p95
@@ -691,6 +705,112 @@ def _gate_serving(min_ratio):
     }
 
 
+def _gate_procpool(min_speedup):
+    """Process-backed replica pool vs threaded sharding, same snapshot.
+
+    Serves a mixed-tenant-shaped trace (interleaved request sizes, two
+    request-T classes) through a 4-replica threaded ``ShardedScheduler``
+    and through a 4-worker ``ProcReplicaPool`` under the same sharded
+    scheduler, after verifying the two transports resolve bit-identical
+    samples.  Fails below ``min_speedup``; on hosts with fewer than
+    ``PROCPOOL_MIN_CORES`` usable cores it returns a skip entry without
+    a ``"speedup"`` key (the trend compare skips such entries, so a
+    laptop re-bank never erases the banked datacenter number).
+    """
+    cores = os.cpu_count() or 1
+    model_desc = (f"spindrop_mlp {IN_FEATURES}-"
+                  f"{'-'.join(map(str, HIDDEN))}-{N_CLASSES}: "
+                  f"{PROCPOOL_WORKERS} proc workers vs "
+                  f"{PROCPOOL_WORKERS} threaded replicas, "
+                  "mixed-tenant trace")
+    if cores < PROCPOOL_MIN_CORES:
+        return {
+            "min_speedup": min_speedup,
+            "workers": PROCPOOL_WORKERS,
+            "cpu_count": cores,
+            "skipped": (f"needs >= {PROCPOOL_MIN_CORES} cores for a "
+                        f"meaningful scaling measurement, host has "
+                        f"{cores}"),
+            "model": model_desc,
+        }
+
+    import tempfile
+
+    from repro.cim.snapshot import DeploymentSnapshot
+    from repro.serving.procpool import ProcReplicaPool
+
+    rng = np.random.default_rng(11)
+    sizes = rng.integers(1, 5, PROCPOOL_REQUESTS)
+    xs = [rng.standard_normal((int(n), IN_FEATURES)) for n in sizes]
+    ts = [PROCPOOL_SAMPLES[i % 2] for i in range(PROCPOOL_REQUESTS)]
+    total_rows = int(sum(x.shape[0] for x in xs))
+
+    def replay(scheduler):
+        tickets = [scheduler.submit(x, n_samples=t)
+                   for x, t in zip(xs, ts)]
+        scheduler.flush()
+        return [ticket.result().samples for ticket in tickets]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "snap")
+        engine = _engine()
+        _warm(engine)
+        DeploymentSnapshot.capture(engine).save(path)
+        snapshot = DeploymentSnapshot.load(path)
+
+        with ProcReplicaPool.from_snapshot(
+                path, workers=PROCPOOL_WORKERS) as pool:
+            # Bit-exactness first: fresh equally-positioned replicas on
+            # both transports must resolve identical tickets.
+            check = ShardedScheduler(
+                [snapshot.build() for _ in range(PROCPOOL_WORKERS)],
+                max_batch=4 * SERVING_MAX_BATCH)
+            expected = replay(check)
+            check.close()
+            pooled = ShardedScheduler(pool.replicas,
+                                      max_batch=4 * SERVING_MAX_BATCH)
+            actual = replay(pooled)
+            for want, got in zip(expected, actual):
+                if not np.array_equal(want, got):
+                    print("FAIL: procpool serving is not bit-identical "
+                          "to threaded sharding")
+                    pooled.close()
+                    return None
+
+            # Timed replays: same scheduler reused across repeats (the
+            # engines keep consuming their streams; work per repeat is
+            # identical in shape and cost).
+            threaded = ShardedScheduler(
+                [snapshot.build() for _ in range(PROCPOOL_WORKERS)],
+                max_batch=4 * SERVING_MAX_BATCH)
+            replay(threaded)                         # warm both paths
+            threaded_s = _best_of(lambda: replay(threaded),
+                                  PROCPOOL_REPEATS)
+            threaded.close()
+            proc_s = _best_of(lambda: replay(pooled), PROCPOOL_REPEATS)
+            pooled.close()
+            transport = dict(pool.stats)
+
+    return {
+        "repeats": PROCPOOL_REPEATS,
+        "workers": PROCPOOL_WORKERS,
+        "cpu_count": cores,
+        "requests": PROCPOOL_REQUESTS,
+        "rows": total_rows,
+        "n_samples": list(PROCPOOL_SAMPLES),
+        # sequential/batched naming keeps the generic engine-gate
+        # reporting and trend compare working: "sequential" is the
+        # GIL-bound threaded baseline the pool replaces.
+        "sequential_s": threaded_s,
+        "batched_s": proc_s,
+        "speedup": threaded_s / proc_s,
+        "min_speedup": min_speedup,
+        "bit_exact": True,
+        "transport": transport,
+        "model": model_desc,
+    }
+
+
 def _gate_degradation():
     """Overload burst -> adaptive-T shedding -> full-T recovery.
 
@@ -855,6 +975,15 @@ def main() -> int:
                              "at least this much faster than a fresh "
                              "compile (default 5.0, env "
                              "BENCH_LIFECYCLE_MIN_SPEEDUP)")
+    parser.add_argument("--procpool-min-speedup", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_PROCPOOL_MIN_SPEEDUP", 2.5)),
+                        help="fail if the 4-worker process-backed replica "
+                             "pool is not at least this much faster than "
+                             "4 threaded replicas on the mixed-tenant "
+                             "trace; skipped (not failed) below "
+                             f"{PROCPOOL_MIN_CORES} cores (default 2.5, "
+                             "env BENCH_PROCPOOL_MIN_SPEEDUP)")
     parser.add_argument("--serving-min-ratio", type=float,
                         default=float(os.environ.get(
                             "BENCH_SERVING_MIN_RATIO", 0.9)),
@@ -920,6 +1049,10 @@ def main() -> int:
     if lifecycle is None:
         return 1
 
+    procpool = _gate_procpool(args.procpool_min_speedup)
+    if procpool is None:
+        return 1
+
     serving = _gate_serving(args.serving_min_ratio)
     mixed_tenant = _gate_mixed_tenant()
     if mixed_tenant is None:
@@ -937,7 +1070,8 @@ def main() -> int:
                          "segmentation": segmentation, "cim_conv": cim_conv,
                          "bitpack_mvm": bitpack_mvm,
                          "bitpack_linear": bitpack_linear,
-                         "lifecycle.snapshot_load": lifecycle}
+                         "lifecycle.snapshot_load": lifecycle,
+                         "procpool": procpool}
     record["serving"] = serving
     record["serving"]["mixed_tenant"] = mixed_tenant
     record["serving"]["degradation"] = degradation
@@ -954,6 +1088,13 @@ def main() -> int:
 
     failed = False
     for name, entry in record["engines"].items():
+        if "speedup" not in entry:
+            # A hardware-skipped gate (e.g. procpool below its core
+            # floor) records its reason and neither prints timings nor
+            # gates — the trend compare skips it the same way.
+            reason = entry.get("skipped", "no measurement")
+            print(f"[{name}] SKIPPED: {reason}")
+            continue
         gate = entry["min_speedup"]
         print(f"[{name}] sequential: {entry['sequential_s'] * 1e3:8.2f} ms")
         print(f"[{name}] batched:    {entry['batched_s'] * 1e3:8.2f} ms")

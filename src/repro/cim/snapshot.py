@@ -542,6 +542,11 @@ def _build_spinbayes(manifest: dict, arrays: Dict[str, np.ndarray]):
 # ----------------------------------------------------------------------
 # Public value type
 # ----------------------------------------------------------------------
+# Process-local verified-load cache: abspath -> (manifest mtime_ns,
+# DeploymentSnapshot).  See DeploymentSnapshot.load_cached.
+_LOAD_CACHE: Dict[str, Tuple[Optional[int], "DeploymentSnapshot"]] = {}
+
+
 class DeploymentSnapshot:
     """A compiled deployment as an immutable value.
 
@@ -596,6 +601,31 @@ class DeploymentSnapshot:
         """Load and verify a saved snapshot (see :func:`read_artifact`)."""
         manifest, arrays = read_artifact(path, kind="deployment")
         return cls(manifest, arrays)
+
+    @classmethod
+    def load_cached(cls, path: str) -> "DeploymentSnapshot":
+        """:meth:`load`, memoized per process.
+
+        The worker-side fast path for the process-backed replica pool:
+        a worker hosting several model ids backed by the same artifact
+        (or respawned onto one it already verified) pays the CRC +
+        content-hash verification once, then rehydrates engines from
+        the resident arrays.  The cache key is the absolute path plus
+        the manifest's mtime, so an artifact rewritten in place is
+        re-verified.  Snapshots are immutable values — sharing one
+        across :meth:`build` calls is safe by design.
+        """
+        key = os.path.abspath(path)
+        try:
+            stamp = os.stat(os.path.join(key, MANIFEST_NAME)).st_mtime_ns
+        except OSError:
+            stamp = None
+        hit = _LOAD_CACHE.get(key)
+        if hit is not None and hit[0] == stamp:
+            return hit[1]
+        snapshot = cls.load(path)
+        _LOAD_CACHE[key] = (stamp, snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------
     def build(self):

@@ -76,6 +76,12 @@ MLP_FAMILIES = ("spindrop", "scaledrop", "subset_vi", "spinbayes")
 FAMILIES = MLP_FAMILIES + ("segmenter",)
 OOD_SETS = ("letters", "uniform_noise", "random_rotation",
             "amplitude_shift", "ood_objects")
+# Serving routes a scenario's engine calls can take: None = direct
+# in-process calls; "procpool" = through a one-worker process-backed
+# replica pool booted from a snapshot of the deployed engine (the
+# worker continues the captured RNG streams, so metrics are identical
+# to the in-process route by construction — what the axis verifies).
+SERVING_MODES = (None, "procpool")
 
 
 # ----------------------------------------------------------------------
@@ -96,11 +102,25 @@ class Scenario:
     defect_rate: float = 0.0
     variability: float = 0.0
     ood: Optional[str] = None
+    serving: Optional[str] = None
     markers: Tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
-        """Canonical, order-stable scenario key."""
+        """Canonical, order-stable scenario key.
+
+        The ``serving`` axis only appears when set, so every scenario
+        banked before the axis existed keeps its exact name (and the
+        byte-reproducibility of ``BENCH_scenarios.json``).
+        """
+        base = self.base_name
+        if self.serving is not None:
+            base += f"/serving={self.serving}"
+        return base
+
+    @property
+    def base_name(self) -> str:
+        """The name without the serving route — the *physics* identity."""
         corr = f"{self.corruption}@{self.severity}" if self.corruption else "clean"
         ood_part = self.ood or "none"
         return (f"{self.family}/{corr}/d{self.defect_rate:g}"
@@ -108,13 +128,23 @@ class Scenario:
 
     @property
     def seed(self) -> int:
-        """Stable per-scenario seed (first 4 bytes of SHA-256 of name)."""
-        digest = hashlib.sha256(self.name.encode("utf-8")).digest()
+        """Stable per-scenario seed (first 4 bytes of SHA-256 of the
+        *base* name).  The serving route is deliberately excluded: it
+        changes how engine calls are transported, never the deployment
+        realization, so a scenario and its ``serving="procpool"`` twin
+        deploy identical hardware and must report identical metrics —
+        the differential the procpool matrix checks.
+        """
+        digest = hashlib.sha256(self.base_name.encode("utf-8")).digest()
         return int.from_bytes(digest[:4], "big")
 
     def key(self) -> dict:
-        """JSON-ready identity record (markers sorted for stability)."""
-        return {
+        """JSON-ready identity record (markers sorted for stability).
+
+        ``serving`` is emitted only when set — banked records predating
+        the axis stay byte-identical.
+        """
+        out = {
             "name": self.name,
             "family": self.family,
             "corruption": self.corruption,
@@ -124,6 +154,9 @@ class Scenario:
             "ood": self.ood,
             "markers": sorted(self.markers),
         }
+        if self.serving is not None:
+            out["serving"] = self.serving
+        return out
 
 
 def _normalize(scenario: Scenario) -> Scenario:
@@ -132,14 +165,19 @@ def _normalize(scenario: Scenario) -> Scenario:
     No corruption → severity 0; the software segmenter has no CIM
     deployment, so defect/variability collapse to 0 (axis values that
     only differ there become duplicates and are removed by dedup).
+    The segmenter likewise collapses ``serving`` to None: its software
+    model has no snapshot artifact to boot a worker from, so the
+    default in-process route is the only one it can take.
     """
     severity = scenario.severity if scenario.corruption else 0
     defect, var = scenario.defect_rate, scenario.variability
+    serving = scenario.serving
     if scenario.family == "segmenter":
         defect, var = 0.0, 0.0
+        serving = None
     return dataclasses.replace(scenario, severity=severity,
                                defect_rate=float(defect),
-                               variability=float(var))
+                               variability=float(var), serving=serving)
 
 
 def _validate(scenario: Scenario) -> None:
@@ -154,6 +192,9 @@ def _validate(scenario: Scenario) -> None:
     if scenario.ood is not None and scenario.ood not in OOD_SETS:
         raise ValueError(f"unknown OOD set {scenario.ood!r}; "
                          f"choose from {sorted(OOD_SETS)}")
+    if scenario.serving not in SERVING_MODES:
+        raise ValueError(f"unknown serving mode {scenario.serving!r}; "
+                         f"choose from {sorted(m for m in SERVING_MODES if m)}")
     if scenario.family == "segmenter":
         if scenario.ood not in (None, "ood_objects"):
             raise ValueError("segmenter scenarios support only the "
@@ -171,18 +212,19 @@ class MatrixBlock:
     defect_rates: Tuple[float, ...] = (0.0,)
     variabilities: Tuple[float, ...] = (0.0,)
     ood_sets: Tuple[Optional[str], ...] = (None,)
+    servings: Tuple[Optional[str], ...] = (None,)
     markers: Tuple[str, ...] = ()
 
     def scenarios(self) -> List[Scenario]:
         out = []
-        for family, corr, defect, var, ood_set in itertools.product(
+        for family, corr, defect, var, ood_set, serving in itertools.product(
                 self.families, self.corruptions, self.defect_rates,
-                self.variabilities, self.ood_sets):
+                self.variabilities, self.ood_sets, self.servings):
             name, severity = corr if corr is not None else (None, 0)
             out.append(Scenario(
                 family=family, corruption=name, severity=severity,
                 defect_rate=defect, variability=var, ood=ood_set,
-                markers=self.markers))
+                serving=serving, markers=self.markers))
         return out
 
 
@@ -288,6 +330,17 @@ MATRICES: Dict[str, MatrixSpec] = {
                     corruptions=(None, ("gaussian_noise", 3)),
                     ood_sets=("ood_objects",),
                     markers=("smoke", "segmentation")),
+    )),
+    # Serving-route differential: the same scenario evaluated directly
+    # and through a one-worker process-backed replica pool (snapshot
+    # boot + shared-memory transport); the two runs must agree bit for
+    # bit on every metric.
+    "procpool": MatrixSpec(preset="tiny", blocks=(
+        MatrixBlock(families=("spindrop",),
+                    corruptions=(None, ("gaussian_noise", 3)),
+                    ood_sets=("letters",),
+                    servings=(None, "procpool"),
+                    markers=("procpool",)),
     )),
     # Nightly matrix: every family crossed with the robustness axes.
     "full": MatrixSpec(preset="full", blocks=(
@@ -552,6 +605,9 @@ def _classifier_metrics(scenario: Scenario, preset: SweepPreset,
         engine = BayesianCim(model, config, seed=seed + 6)
 
     engine.ledger.reset()
+    if scenario.serving == "procpool":
+        return _procpool_classifier_metrics(scenario, preset, engine,
+                                            x_eval, y_eval, data)
     result = engine.mc_forward_batched(x_eval, n_samples=preset.mc_samples)
     joules, _ = price_ledger(engine.ledger)
     metrics = {
@@ -570,6 +626,63 @@ def _classifier_metrics(scenario: Scenario, preset: SweepPreset,
             x_ood, n_samples=preset.mc_samples)
         metrics["ood_auroc"] = auroc(result.predictive_entropy,
                                      ood_result.predictive_entropy)
+    return metrics
+
+
+def _procpool_classifier_metrics(scenario: Scenario, preset: SweepPreset,
+                                 engine, x_eval: np.ndarray,
+                                 y_eval: np.ndarray,
+                                 data) -> Dict[str, Optional[float]]:
+    """The ``serving="procpool"`` route of :func:`_classifier_metrics`.
+
+    The freshly deployed engine is snapshotted and served through a
+    one-worker :class:`~repro.serving.procpool.ProcReplicaPool`: the
+    single worker rehydrates the snapshot in its own interpreter and
+    continues the captured RNG streams, so every metric — including
+    the op-ledger energy totals read back over the pool's ledger RPC —
+    is bit-identical to the in-process route.  (One worker, because
+    multi-replica sharding gives each replica its own mask draws; the
+    equivalence claim is per-engine.)
+    """
+    import shutil
+    import tempfile
+
+    from repro.cim.ledger import OpLedger
+    from repro.cim.snapshot import DeploymentSnapshot
+    from repro.serving.procpool import ProcReplicaPool
+
+    tempdir = tempfile.mkdtemp(prefix="repro-sweep-procpool-")
+    try:
+        path = os.path.join(tempdir, "snapshot")
+        DeploymentSnapshot.capture(engine).save(path)
+        with ProcReplicaPool.from_snapshot(path, workers=1) as pool:
+            replica = pool.replicas[0]
+            result = replica.mc_forward_batched(
+                x_eval, n_samples=preset.mc_samples)
+            # Ledger state is read before the OOD call, matching the
+            # in-process route's pricing point.
+            ledger = OpLedger()
+            ledger.counts.update(replica.ledger_totals() or {})
+            joules, _ = price_ledger(ledger)
+            metrics = {
+                "accuracy": float((result.predictions == y_eval).mean()),
+                "nll": nll(result.probs, y_eval),
+                "ece": expected_calibration_error(result.probs, y_eval),
+                "brier": brier_score(result.probs, y_eval),
+                "energy_j_per_image": joules / len(x_eval),
+                "ops_total": int(ledger.total()),
+                "ood_auroc": None,
+            }
+            if scenario.ood:
+                x_ood = _ood_inputs(scenario, preset, x_eval,
+                                    data.image_size, data.n_features)
+                ood_result = replica.mc_forward_batched(
+                    x_ood, n_samples=preset.mc_samples)
+                metrics["ood_auroc"] = auroc(
+                    result.predictive_entropy,
+                    ood_result.predictive_entropy)
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
     return metrics
 
 

@@ -168,6 +168,14 @@ def compare_bench_record(record: dict, baseline: dict, tolerance: float,
         base = base_engines.get(name)
         if base is None or "speedup" not in base:
             continue
+        if "speedup" not in entry:
+            # Hardware-skipped on this host (e.g. the procpool gate
+            # below its core floor): there is no fresh measurement to
+            # regress, and the banked number stays protected in the
+            # committed baseline.
+            printer(f"[compare] {name}: skipped on this host "
+                    f"({entry.get('skipped', 'no measurement')})")
+            continue
         ratio = entry["speedup"] / base["speedup"]
         printer(f"[compare] {name}: {entry['speedup']:.2f}x vs baseline "
                 f"{base['speedup']:.2f}x ({ratio:.2f} of banked)")
@@ -213,10 +221,12 @@ def bench_summary_rows(record: dict, baseline: dict) -> List[List[str]]:
     for name, entry in record["engines"].items():
         base = base_engines.get(name, {})
         banked = base.get("speedup")
+        fresh = entry.get("speedup")
         banked_s = f"{banked:.2f}x" if banked is not None else "-"
-        ratio_s = (f"{entry['speedup'] / banked:.2f}"
-                   if banked else "-")
-        rows.append([name, banked_s, f"{entry['speedup']:.2f}x", ratio_s])
+        fresh_s = f"{fresh:.2f}x" if fresh is not None else "skipped"
+        ratio_s = (f"{fresh / banked:.2f}"
+                   if banked and fresh is not None else "-")
+        rows.append([name, banked_s, fresh_s, ratio_s])
     fresh_serving = record.get("serving", {}).get("throughput_ratio")
     banked_serving = baseline.get("serving", {}).get("throughput_ratio")
     if fresh_serving is not None:

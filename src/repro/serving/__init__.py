@@ -1,20 +1,28 @@
 """Serving layer: request coalescing over the batched MC engines.
 
-Three front-ends share one coalescing core (see ``docs/serving.md``):
+Four front-ends share one coalescing core (see ``docs/serving.md``),
+reachable uniformly through :func:`serve`:
 
-- :class:`BatchScheduler` — synchronous, single engine;
+- :class:`BatchScheduler` — synchronous, single engine
+  (``backend="sync"``);
 - :class:`ShardedScheduler` — synchronous, fan-out across engine
-  replicas;
+  replicas in threads (``backend="threads"``);
+- :class:`ProcReplicaPool` — replicas in worker *processes* with
+  shared-memory row transport, served through a sharded scheduler
+  (``backend="procs"``);
 - :class:`AsyncBatchScheduler` — :mod:`asyncio` coroutines over
   either, with :class:`LoadMetrics` observability and optional
-  :class:`Autoscaler`-driven replica scaling.
+  :class:`Autoscaler`-driven replica scaling (``backend="async"``).
 
 The SLO-driven control plane (:class:`ControlPlane`) layers replica
 health quarantine, admission control, and adaptive-T degradation over
 any of them; :mod:`repro.serving.faults` provides the deterministic
-fault-injection doubles used to exercise it.
+fault-injection doubles used to exercise it.  Every serving-surface
+exception lives in :mod:`repro.serving.errors` (the ticket lifecycle
+is documented there too).
 """
 
+from repro.serving.api import Frontend, ServingConfig, serve
 from repro.serving.async_frontend import (
     AsyncBatchScheduler,
     AsyncPrediction,
@@ -23,18 +31,25 @@ from repro.serving.autoscale import Autoscaler
 from repro.serving.controlplane import (
     AdmissionController,
     AdmissionPolicy,
-    AdmissionRejected,
     ControlPlane,
     HealthPolicy,
     ReplicaHealth,
     SloPolicy,
 )
+from repro.serving.errors import (
+    AdmissionRejected,
+    Overload,
+    QueueFull,
+    RemoteEngineError,
+    ResultTimeout,
+    WorkerDied,
+)
 from repro.serving.metrics import LoadMetrics, MetricsSnapshot, ModelLatency
+from repro.serving.procpool import ProcReplica, ProcReplicaPool
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import (
     BatchScheduler,
     PendingPrediction,
-    ResultTimeout,
     SchedulerStats,
 )
 from repro.serving.sharded import ShardedScheduler
@@ -48,15 +63,24 @@ __all__ = [
     "Autoscaler",
     "BatchScheduler",
     "ControlPlane",
+    "Frontend",
     "HealthPolicy",
     "LoadMetrics",
     "MetricsSnapshot",
     "ModelLatency",
     "ModelRegistry",
+    "Overload",
     "PendingPrediction",
+    "ProcReplica",
+    "ProcReplicaPool",
+    "QueueFull",
+    "RemoteEngineError",
     "ReplicaHealth",
     "ResultTimeout",
     "SchedulerStats",
+    "ServingConfig",
     "ShardedScheduler",
     "SloPolicy",
+    "WorkerDied",
+    "serve",
 ]

@@ -43,6 +43,7 @@ from typing import Deque, Dict, List, Optional
 
 from repro.bayesian.base import PredictiveResult
 from repro.serving.autoscale import Autoscaler
+from repro.serving.errors import ResultTimeout
 from repro.serving.metrics import LoadMetrics
 from repro.serving.scheduler import (
     BatchScheduler,
@@ -59,16 +60,20 @@ class AsyncPrediction:
     request's :class:`~repro.bayesian.base.PredictiveResult`, raising
     the engine's original exception if its flush failed.
     :meth:`cancel` abandons a queued request and frees its
-    backpressure slot immediately.
+    backpressure slot immediately.  A ``deadline_s`` passed at submit
+    bounds :meth:`result`: past it the request is cancelled and
+    :class:`~repro.serving.errors.ResultTimeout` raised — the same
+    error type the sync ticket uses.
     """
 
-    __slots__ = ("_future", "n_rows", "n_samples")
+    __slots__ = ("_future", "n_rows", "n_samples", "_deadline")
 
     def __init__(self, future: "asyncio.Future", n_rows: int,
-                 n_samples: int):
+                 n_samples: int, deadline: Optional[float] = None):
         self._future = future
         self.n_rows = n_rows
         self.n_samples = n_samples
+        self._deadline = deadline          # absolute loop time, or None
 
     def done(self) -> bool:
         """True once resolved (result, failure, or cancellation)."""
@@ -89,13 +94,28 @@ class AsyncPrediction:
 
         Raises
         ------
+        ResultTimeout
+            The submit-time ``deadline_s`` expired first; the request
+            is cancelled (its backpressure slot freed, its admission
+            accounting reconciled).
         asyncio.CancelledError
             If the ticket was cancelled.
         Exception
             The original engine exception, if the flush serving this
             request failed.
         """
-        return await self._future
+        if self._deadline is None:
+            return await self._future
+        loop = asyncio.get_running_loop()
+        remaining = self._deadline - loop.time()
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(self._future), max(remaining, 1e-9))
+        except asyncio.TimeoutError:
+            self._future.cancel()
+            raise ResultTimeout(
+                "request missed its deadline_s and was withdrawn"
+            ) from None
 
     def __await__(self):
         return self._future.__await__()
@@ -216,15 +236,20 @@ class AsyncBatchScheduler:
 
     # ------------------------------------------------------------------
     async def submit(self, x, n_samples: Optional[int] = None,
-                     model: Optional[str] = None) -> AsyncPrediction:
+                     model: Optional[str] = None, *,
+                     feature_shape: Optional[tuple] = None,
+                     deadline_s: Optional[float] = None) -> AsyncPrediction:
         """Enqueue a request; suspends under backpressure.
 
         ``x`` is ``(n, …features)`` or a single ``(…features,)``
         sample; ``n_samples`` overrides the scheduler default for
         this request only; ``model`` routes to a registered model of
         the inner scheduler's registry (grouped by (model, T) at
-        flush, like the sync front-ends).  Returns an awaitable
-        :class:`AsyncPrediction`.
+        flush, like the sync front-ends); ``feature_shape`` pins the
+        route's per-sample shape; ``deadline_s`` bounds the ticket's
+        ``result()`` wait (expiry cancels the request and raises
+        :class:`~repro.serving.errors.ResultTimeout`).  Returns an
+        awaitable :class:`AsyncPrediction`.
 
         Raises
         ------
@@ -243,9 +268,11 @@ class AsyncBatchScheduler:
         """
         if self._closed:
             raise RuntimeError("scheduler is closed")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         loop = self._bind_loop()
         x, n_samples, model_id = self.scheduler._normalize_request(
-            x, n_samples, model)
+            x, n_samples, model, feature_shape)
         rows = x.shape[0]
         if self.scheduler.admission is not None:
             self.scheduler.admission.admit(
@@ -277,7 +304,9 @@ class AsyncBatchScheduler:
             # the current tick, after every concurrently-scheduled
             # submit has joined the batch.
             self._idle_handle = loop.call_soon(self._idle_fire)
-        return AsyncPrediction(future, rows, n_samples)
+        deadline = (loop.time() + deadline_s if deadline_s is not None
+                    else None)
+        return AsyncPrediction(future, rows, n_samples, deadline)
 
     async def predict(self, x, n_samples: Optional[int] = None,
                       model: Optional[str] = None) -> PredictiveResult:
@@ -395,6 +424,13 @@ class AsyncBatchScheduler:
                     self._pending_rows -= rows
                     self.metrics.observe_queue_depth(self._pending_rows)
                     break
+            # The admission controller booked this request's rows at
+            # submit.  A cancellation — *including* one that lands
+            # after the flush already started running the batch — means
+            # those rows were never served; without this release the
+            # admitted counters drift up by every cancelled request.
+            if self.scheduler.admission is not None:
+                self.scheduler.admission.release(rows)
         self._release_rows(rows)
 
     # ------------------------------------------------------------------

@@ -48,20 +48,12 @@ import time
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from repro.serving.errors import (
+    AdmissionRejected,
+    Overload,
+    QueueFull,
+)
 from repro.serving.metrics import LoadMetrics, _percentile
-
-
-class AdmissionRejected(RuntimeError):
-    """A request refused by admission control (never enqueued).
-
-    ``reason`` is ``"queue_full"`` (hard bound) or ``"overload"``
-    (soft watermark + latency breach) — distinct from engine errors,
-    so clients can back off instead of retrying into the same wall.
-    """
-
-    def __init__(self, message: str, reason: str):
-        super().__init__(message)
-        self.reason = reason
 
 
 @dataclasses.dataclass
@@ -109,12 +101,15 @@ class AdmissionController:
         self.admitted_rows = 0
         self.rejected_requests = 0
         self.shed_requests = 0
+        self.cancelled_requests = 0
+        self.cancelled_rows = 0
 
     def admit(self, rows: int, pending_rows: int,
               p95_supplier: Optional[Callable[[], float]] = None) -> None:
         """Admit ``rows`` against ``pending_rows`` already queued.
 
-        Raises :class:`AdmissionRejected` instead of enqueueing when a
+        Raises :class:`QueueFull` / :class:`Overload` (both
+        :class:`AdmissionRejected`) instead of enqueueing when a
         watermark is crossed; otherwise records the admission.
         """
         policy = self.policy
@@ -122,25 +117,45 @@ class AdmissionController:
         if would_be > policy.max_queue_rows:
             with self._lock:
                 self.rejected_requests += 1
-            raise AdmissionRejected(
+            raise QueueFull(
                 f"queue full: {pending_rows} rows pending + {rows} "
-                f"requested > max_queue_rows={policy.max_queue_rows}",
-                reason="queue_full")
+                f"requested > max_queue_rows={policy.max_queue_rows}")
         if policy.shed_queue_rows is not None \
                 and would_be > policy.shed_queue_rows:
             p95 = p95_supplier() if p95_supplier is not None else 0.0
             if policy.shed_p95_s is None or p95 > policy.shed_p95_s:
                 with self._lock:
                     self.shed_requests += 1
-                raise AdmissionRejected(
+                raise Overload(
                     f"overload shed: {pending_rows} rows pending past "
                     f"watermark {policy.shed_queue_rows} with p95 "
                     f"{p95 * 1e3:.1f} ms over "
-                    f"{(policy.shed_p95_s or 0) * 1e3:.1f} ms",
-                    reason="overload")
+                    f"{(policy.shed_p95_s or 0) * 1e3:.1f} ms")
         with self._lock:
             self.admitted_requests += 1
             self.admitted_rows += rows
+
+    def release(self, rows: int) -> None:
+        """Reconcile one admitted-then-cancelled request.
+
+        An async submit that passed admission books its rows into
+        ``admitted_rows`` — if the ticket is later cancelled (even
+        after its flush started) those rows were never *served*, and
+        without this hook the admitted counters drift from reality on
+        every cancellation.  The front-ends call this from the
+        cancellation path; ``served_rows`` is then the honest load
+        figure for capacity planning.
+        """
+        with self._lock:
+            self.cancelled_requests += 1
+            self.cancelled_rows += rows
+
+    @property
+    def served_rows(self) -> int:
+        """Admitted rows minus cancelled ones — the rows that actually
+        reached (or will reach) an engine."""
+        with self._lock:
+            return self.admitted_rows - self.cancelled_rows
 
 
 class SloPolicy:
@@ -501,9 +516,11 @@ class ControlPlane:
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
-    "AdmissionRejected",
+    "AdmissionRejected",     # re-exported from repro.serving.errors
     "ControlPlane",
     "HealthPolicy",
+    "Overload",              # re-exported from repro.serving.errors
+    "QueueFull",             # re-exported from repro.serving.errors
     "ReplicaHealth",
     "SloPolicy",
 ]

@@ -38,7 +38,7 @@ class _ModelEntry:
     """Registered model: its engine source and per-model telemetry."""
 
     __slots__ = ("model_id", "factory", "feature_shape", "engine",
-                 "metrics", "loads", "load_time_s")
+                 "metrics", "loads", "load_time_s", "snapshot_path")
 
     def __init__(self, model_id: str, factory: Callable[[], object],
                  feature_shape: Optional[tuple]):
@@ -49,6 +49,7 @@ class _ModelEntry:
         self.metrics = LoadMetrics()
         self.loads = 0
         self.load_time_s = 0.0
+        self.snapshot_path: Optional[str] = None
 
 
 class ModelRegistry:
@@ -105,6 +106,12 @@ class ModelRegistry:
             if model_id in self._entries:
                 raise ValueError(f"model {model_id!r} already registered")
             entry = _ModelEntry(model_id, factory, shape)
+            if snapshot is not None:
+                # Remembered verbatim so process-pool workers can boot
+                # this model from its artifact (repro.serving.procpool
+                # ships the *path* across the process boundary, never
+                # the arrays).
+                entry.snapshot_path = snapshot
             self._entries[model_id] = entry
             if engine is not None:
                 entry.engine = engine
@@ -152,6 +159,12 @@ class ModelRegistry:
     def feature_shape(self, model_id: str) -> Optional[tuple]:
         with self._lock:
             return self._require(model_id).feature_shape
+
+    def snapshot_path(self, model_id: str) -> Optional[str]:
+        """The artifact path a snapshot-registered model boots from
+        (``None`` for factory/engine-registered models)."""
+        with self._lock:
+            return self._require(model_id).snapshot_path
 
     def metrics(self, model_id: str) -> LoadMetrics:
         """The model's own flush-metrics collector."""

@@ -44,18 +44,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bayesian.base import PredictiveResult
+from repro.serving.errors import ResultTimeout
 from repro.serving.metrics import LoadMetrics
 
-
-class ResultTimeout(RuntimeError):
-    """``result(timeout=...)`` expired before the request resolved.
-
-    The ticket's pending slot is released on the way out: the request
-    is withdrawn from the batch (it will not run) and its rows no
-    longer count against ``max_batch``/admission watermarks, instead
-    of lingering for ``max_retained_results`` LRU eviction.  Retrying
-    the same ticket re-raises this error.
-    """
+# Back-compat: ResultTimeout predates repro.serving.errors and was
+# defined here through PR 9; importing it from this module keeps
+# working.
+__all__ = ["BatchScheduler", "PendingPrediction", "ResultTimeout",
+           "SchedulerStats"]
 
 
 @dataclasses.dataclass
@@ -116,11 +112,14 @@ class PendingPrediction:
     """
 
     def __init__(self, scheduler: "BatchScheduler", seq: int, n_rows: int,
-                 n_samples: int):
+                 n_samples: int, deadline: Optional[float] = None):
         self._scheduler = scheduler
         self._seq = seq
         self.n_rows = n_rows
         self.n_samples = n_samples
+        # Absolute monotonic deadline from submit(deadline_s=...);
+        # result() then defaults to waiting out the remaining budget.
+        self._deadline = deadline
 
     def done(self) -> bool:
         """True once the request's flush has run (even if it failed)."""
@@ -130,7 +129,9 @@ class PendingPrediction:
         """Return (once) this request's :class:`PredictiveResult`.
 
         With ``timeout=None`` (default) a still-pending request forces
-        an immediate flush.  With a timeout, the call instead *waits*
+        an immediate flush — unless the request was submitted with
+        ``deadline_s=``, in which case the remaining deadline budget is
+        used as the timeout.  With a timeout, the call instead *waits*
         for another flush trigger (the deadline timer, ``max_batch``,
         or a concurrent ``flush()``) to resolve the request — the
         polite form for a caller that wants batching to happen — and
@@ -149,6 +150,8 @@ class PendingPrediction:
             If the engine call serving this request raised, the
             original exception is re-raised with its traceback.
         """
+        if timeout is None and self._deadline is not None:
+            timeout = max(self._deadline - time.monotonic(), 1e-9)
         return self._scheduler._resolve(self._seq, timeout)
 
 
@@ -324,16 +327,22 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray,
                n_samples: Optional[int] = None,
-               model: Optional[str] = None) -> PendingPrediction:
+               model: Optional[str] = None, *,
+               feature_shape: Optional[tuple] = None,
+               deadline_s: Optional[float] = None) -> PendingPrediction:
         """Enqueue a request: ``x`` is (n, …features) or (…features,).
 
         ``n_samples`` overrides the scheduler default for this request
         only.  ``model`` routes the request to a registered model
         (requires a ``registry``); omitted, it goes to the default
-        engine or ``default_model``.  Returns a
-        :class:`PendingPrediction` that resolves once the request's
-        batch is flushed (automatically at ``max_batch`` rows, after
-        ``flush_interval`` seconds, or on :meth:`flush` /
+        engine or ``default_model``.  ``feature_shape`` pins the
+        route's per-sample shape from the request (must agree with an
+        already-pinned shape); ``deadline_s`` bounds how long the
+        returned ticket's ``result()`` waits before withdrawing the
+        request with :class:`~repro.serving.errors.ResultTimeout`.
+        Returns a :class:`PendingPrediction` that resolves once the
+        request's batch is flushed (automatically at ``max_batch``
+        rows, after ``flush_interval`` seconds, or on :meth:`flush` /
         ``result()``).
 
         Raises
@@ -342,17 +351,20 @@ class BatchScheduler:
             For an empty request, a feature-shape mismatch, an
             ambiguous multi-dimensional first request without
             ``feature_shape``, a ``model`` without a registry,
-            or ``n_samples < 1``.
+            a non-positive ``deadline_s``, or ``n_samples < 1``.
         KeyError
             For a ``model`` the registry does not know.
         AdmissionRejected
             When an admission policy is attached and the request
             crosses its queue/latency watermarks (it is never
-            enqueued).
+            enqueued).  Raised as :class:`~repro.serving.errors.
+            QueueFull` or :class:`~repro.serving.errors.Overload`.
         """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         with self._lock:
             x, n_samples, model_id = self._normalize_request(
-                x, n_samples, model)
+                x, n_samples, model, feature_shape)
             if self.admission is not None:
                 self.admission.admit(
                     x.shape[0], self._pending_rows, self._observed_p95)
@@ -365,7 +377,10 @@ class BatchScheduler:
             self.stats.rows += x.shape[0]
             if self.metrics is not None:
                 self.metrics.observe_queue_depth(self._pending_rows)
-            ticket = PendingPrediction(self, seq, x.shape[0], n_samples)
+            deadline = (time.monotonic() + deadline_s
+                        if deadline_s is not None else None)
+            ticket = PendingPrediction(self, seq, x.shape[0], n_samples,
+                                       deadline)
             if self._pending_rows >= self.max_batch:
                 self._flush_locked()
             elif was_empty and self.flush_interval is not None \
@@ -375,7 +390,8 @@ class BatchScheduler:
 
     def _normalize_request(self, x: np.ndarray,
                            n_samples: Optional[int],
-                           model: Optional[str] = None) -> tuple:
+                           model: Optional[str] = None,
+                           feature_shape: Optional[tuple] = None) -> tuple:
         """Validate one request; return its batched array, T, and
         model-id (``None`` for the default-engine route).
 
@@ -398,6 +414,18 @@ class BatchScheduler:
                 f"no registry")
         x = np.asarray(x, dtype=np.float64)
         with self._lock:
+            if feature_shape is not None:
+                # A per-request pin (the normalized submit signature):
+                # fixes the route's shape on first use, and must agree
+                # with an already-pinned one afterwards.
+                pinned = tuple(feature_shape)
+                known = self._feature_shapes.get(model)
+                if known is None:
+                    self._feature_shapes[model] = pinned
+                elif known != pinned:
+                    raise ValueError(
+                        f"request pins feature_shape={pinned} but the "
+                        f"route is already pinned to {known}")
             shape = self._feature_shapes.get(model)
             if shape is None and model is not None:
                 # Raises KeyError for an unknown model — reject it at
@@ -709,6 +737,11 @@ class BatchScheduler:
                         if self.metrics is not None:
                             self.metrics.observe_queue_depth(
                                 self._pending_rows)
+                        if self.admission is not None:
+                            # The withdrawn rows were admitted but will
+                            # never be served — reconcile the counters
+                            # so admitted totals don't drift.
+                            self.admission.release(request.x.shape[0])
                         break
                 self._timed_out_seqs[seq] = None
                 while len(self._timed_out_seqs) > \
